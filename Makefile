@@ -1,0 +1,47 @@
+# Standard targets for the nvmstar reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench report examples vet fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Full suite, including the ~90 s paper-shape gate.
+test:
+	$(GO) test ./...
+
+# Quick suite: skips the shape gate and the full scheme matrix.
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure, plus ablations and baselines.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the evaluation tables (Figs. 10-14, Table II).
+evaluation:
+	$(GO) run ./cmd/starbench -exp all -ops 20000
+
+# Executable paper-vs-measured report; non-zero exit if a shape breaks.
+report:
+	$(GO) run ./cmd/starreport -ops 8000
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/crashattack
+	$(GO) run ./examples/tuning
+	$(GO) run ./examples/baselines
+	$(GO) run ./examples/restart
+
+clean:
+	rm -f test_output.txt bench_output.txt /tmp/nvmstar-restart.img

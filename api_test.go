@@ -1,0 +1,190 @@
+package nvmstar_test
+
+import (
+	"errors"
+	"testing"
+
+	"nvmstar"
+	"nvmstar/internal/secmem"
+)
+
+func newSystem(t *testing.T, scheme string) *nvmstar.System {
+	t.Helper()
+	sys, err := nvmstar.New(nvmstar.Options{
+		Scheme:         scheme,
+		DataBytes:      16 << 20,
+		MetaCacheBytes: 64 << 10,
+		Cores:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemStoreLoadRoundTrip(t *testing.T) {
+	sys := newSystem(t, "star")
+	msg := []byte("the quick brown fox")
+	sys.Store(128, msg)
+	got := sys.Load(128, len(msg))
+	if err := sys.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestSystemCrashRecoverPersisted(t *testing.T) {
+	for _, scheme := range []string{"star", "anubis", "strict"} {
+		t.Run(scheme, func(t *testing.T) {
+			sys := newSystem(t, scheme)
+			msg := []byte("durable")
+			sys.Store(0, msg)
+			sys.PersistRange(0, len(msg))
+			sys.Crash()
+			rep, err := sys.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Verified {
+				t.Fatalf("not verified: %+v", rep)
+			}
+			got := sys.Load(0, len(msg))
+			if err := sys.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(msg) {
+				t.Fatalf("lost data: %q", got)
+			}
+		})
+	}
+}
+
+func TestSystemUnpersistedDataLostAtCrash(t *testing.T) {
+	sys := newSystem(t, "star")
+	sys.Store(0, []byte("volatile"))
+	// No persist: the line sits dirty in a CPU cache.
+	sys.Crash()
+	if _, err := sys.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got := sys.Load(0, 8)
+	if err := sys.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("unpersisted data survived the crash: %q", got)
+		}
+	}
+}
+
+func TestSystemWBCannotRecover(t *testing.T) {
+	sys := newSystem(t, "wb")
+	sys.Store(0, []byte("x"))
+	sys.PersistRange(0, 1)
+	sys.Crash()
+	if _, err := sys.Recover(); !errors.Is(err, secmem.ErrRecoveryUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSystemRealCrypto(t *testing.T) {
+	sys, err := nvmstar.New(nvmstar.Options{
+		Scheme: "star", DataBytes: 8 << 20, MetaCacheBytes: 64 << 10,
+		Cores: 1, RealCrypto: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("aes for real")
+	sys.Store(64, msg)
+	sys.PersistRange(64, len(msg))
+	sys.Crash()
+	if _, err := sys.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Load(64, len(msg)); string(got) != string(msg) {
+		t.Fatalf("round trip under real crypto = %q", got)
+	}
+	if err := sys.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemRunBenchmark(t *testing.T) {
+	sys := newSystem(t, "star")
+	res, err := sys.RunBenchmark("queue", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 500 || res.Dev.Writes == 0 {
+		t.Fatalf("results = %+v", res)
+	}
+}
+
+func TestSystemOptionsValidation(t *testing.T) {
+	if _, err := nvmstar.New(nvmstar.Options{Scheme: "bogus"}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if _, err := nvmstar.New(nvmstar.Options{ADRBitmapLines: 1}); err == nil {
+		t.Fatal("1 ADR line accepted (needs L1+L2)")
+	}
+}
+
+func TestSchemesList(t *testing.T) {
+	schemes := nvmstar.Schemes()
+	if len(schemes) != 5 {
+		t.Fatalf("schemes = %v", schemes)
+	}
+	for _, s := range schemes {
+		if _, err := nvmstar.New(nvmstar.Options{
+			Scheme: s, DataBytes: 8 << 20, MetaCacheBytes: 64 << 10, Cores: 1,
+		}); err != nil {
+			t.Fatalf("listed scheme %q not constructible: %v", s, err)
+		}
+	}
+}
+
+func TestSystemAuditAndWorkloadLists(t *testing.T) {
+	sys := newSystem(t, "strict")
+	sys.Store(0, []byte("x"))
+	sys.PersistRange(0, 1)
+	meta, data := sys.Audit()
+	if len(meta) != 0 || len(data) != 0 {
+		t.Fatalf("clean system audited dirty: %v %v", meta, data)
+	}
+	if len(nvmstar.Workloads()) != 7 {
+		t.Fatalf("Workloads() = %v", nvmstar.Workloads())
+	}
+	if len(nvmstar.WorkloadsAll()) <= len(nvmstar.Workloads()) {
+		t.Fatal("WorkloadsAll() should add extensions")
+	}
+	for _, w := range nvmstar.WorkloadsAll() {
+		if w == "" {
+			t.Fatal("empty workload name")
+		}
+	}
+}
+
+func TestMultiCoreSharing(t *testing.T) {
+	// Two cores touch the same line: the exclusive hierarchy must
+	// migrate it without losing writes.
+	sys := newSystem(t, "star")
+	sys.OnCore(0)
+	sys.Store(0, []byte{1, 2, 3})
+	sys.OnCore(1)
+	got := sys.Load(0, 3)
+	if err := sys.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("cross-core read = %v", got)
+	}
+	sys.Store(1, []byte{9})
+	sys.OnCore(0)
+	if got := sys.Load(0, 3); got[1] != 9 {
+		t.Fatalf("write migration lost: %v", got)
+	}
+}

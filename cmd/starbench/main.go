@@ -1,0 +1,215 @@
+// Command starbench regenerates the paper's evaluation (Figs. 10-14,
+// Table II) on the simulated machine and prints each experiment as an
+// aligned table. Every experiment can be run alone:
+//
+//	starbench -exp fig11 -ops 20000
+//	starbench -exp all
+//
+// The -workloads flag restricts the workload set, e.g.
+// -workloads array,hash.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nvmstar/internal/experiments"
+	"nvmstar/internal/sim"
+)
+
+// render formats an output table (text or CSV, per -format).
+var render func(header []string, rows [][]string) string
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig10|fig11|fig12|fig13|table2|fig14a|fig14b|ablation-index|all")
+	ops := flag.Int("ops", 20000, "measured operations per workload run")
+	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all seven)")
+	seeds := flag.Int("seeds", 1, "average each cell over this many workload seeds")
+	format := flag.String("format", "table", "output format: table|csv")
+	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
+	metaKB := flag.Int("meta-kb", 256, "metadata cache size in KiB")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Ops = *ops
+	o.Seeds = *seeds
+	switch *format {
+	case "table":
+		render = experiments.FormatTable
+	case "csv":
+		render = experiments.FormatCSV
+	default:
+		fmt.Fprintf(os.Stderr, "starbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	o.Config = func() sim.Config {
+		cfg := sim.Default()
+		cfg.DataBytes = uint64(*dataMB) << 20
+		cfg.MetaCache.SizeBytes = *metaKB << 10
+		return cfg
+	}
+	if *workloads != "" {
+		o.Workloads = strings.Split(*workloads, ",")
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "starbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig10") {
+		ran = true
+		run("Fig. 10: bitmap-line writes vs WB writes", func() error { return fig10(o) })
+	}
+	if want("fig11") || want("fig12") || want("fig13") {
+		ran = true
+		run("Figs. 11-13: write traffic / IPC / energy (normalized to WB)", func() error { return schemeComparison(o) })
+	}
+	if want("table2") {
+		ran = true
+		run("Table II: ADR bitmap-line hit ratio", func() error { return table2(o) })
+	}
+	if want("fig14a") {
+		ran = true
+		run("Fig. 14a: dirty metadata fraction", func() error { return fig14a(o) })
+	}
+	if want("fig14b") {
+		ran = true
+		run("Fig. 14b: recovery time vs metadata cache size", func() error { return fig14b(o) })
+	}
+	if want("ablation-index") {
+		ran = true
+		run("Ablation: multi-layer index vs flat RA scan", func() error { return ablationIndex(o) })
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "starbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func fig10(o experiments.Options) error {
+	rows, err := experiments.Fig10(o)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	var sumRatio float64
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload,
+			fmt.Sprintf("%d", r.WBWrites),
+			fmt.Sprintf("%d", r.BitmapWrites),
+			fmt.Sprintf("%d", r.BitmapReads),
+			fmt.Sprintf("%.0fx", r.Ratio),
+		})
+		sumRatio += r.Ratio
+	}
+	cells = append(cells, []string{"average", "", "", "", fmt.Sprintf("%.0fx", sumRatio/float64(len(rows)))})
+	fmt.Print(render(
+		[]string{"workload", "WB writes", "bitmap writes", "bitmap reads", "WB/bitmap"}, cells))
+	return nil
+}
+
+func schemeComparison(o experiments.Options) error {
+	rows, err := experiments.SchemeComparison(o, nil)
+	if err != nil {
+		return err
+	}
+	experiments.SortSchemeRows(rows)
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload, r.Scheme,
+			fmt.Sprintf("%.2f", r.WritesPerOp),
+			fmt.Sprintf("%.2fx", r.WriteRatio),
+			fmt.Sprintf("%.3f", r.IPC),
+			fmt.Sprintf("%.2f", r.IPCRatio),
+			fmt.Sprintf("%.1f", r.EnergyPerOp/1000),
+			fmt.Sprintf("%.2fx", r.EnergyRatio),
+		})
+	}
+	fmt.Print(render(
+		[]string{"workload", "scheme", "writes/op", "W vs WB", "IPC", "IPC vs WB", "nJ/op", "E vs WB"}, cells))
+	return nil
+}
+
+func table2(o experiments.Options) error {
+	rows, err := experiments.Table2(o, nil)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.ADRLines),
+			fmt.Sprintf("%.2f%%", 100*r.HitRatio),
+		})
+	}
+	fmt.Print(render([]string{"bitmap lines", "hit ratio"}, cells))
+	return nil
+}
+
+func fig14a(o experiments.Options) error {
+	rows, err := experiments.Fig14a(o)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	var sum float64
+	for _, r := range rows {
+		cells = append(cells, []string{r.Workload, fmt.Sprintf("%.1f%%", 100*r.DirtyFrac)})
+		sum += r.DirtyFrac
+	}
+	cells = append(cells, []string{"average", fmt.Sprintf("%.1f%%", 100*sum/float64(len(rows)))})
+	fmt.Print(render([]string{"workload", "dirty metadata"}, cells))
+	return nil
+}
+
+func fig14b(o experiments.Options) error {
+	rows, err := experiments.Fig14b(o, nil)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d KiB", r.MetaCacheBytes>>10),
+			fmt.Sprintf("%d", r.StaleNodes),
+			fmt.Sprintf("%.4fs", r.StarSeconds),
+			fmt.Sprintf("%.4fs", r.AnubisSeconds),
+			fmt.Sprintf("%.2fx", r.StarSeconds/r.AnubisSeconds),
+		})
+	}
+	fmt.Print(render(
+		[]string{"meta cache", "stale nodes", "STAR", "Anubis", "STAR/Anubis"}, cells))
+	return nil
+}
+
+func ablationIndex(o experiments.Options) error {
+	rows, err := experiments.AblationIndex(o)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload,
+			fmt.Sprintf("%d", r.IndexedReads),
+			fmt.Sprintf("%d", r.FlatReads),
+			fmt.Sprintf("%.4fs", r.IndexedSecs),
+			fmt.Sprintf("%.4fs", r.FlatSecs),
+		})
+	}
+	fmt.Print(render(
+		[]string{"workload", "indexed reads", "flat reads", "indexed time", "flat time"}, cells))
+	return nil
+}

@@ -1,0 +1,141 @@
+// Command starplot regenerates the paper's evaluation figures as SVG
+// files (Figs. 10-13 and 14a/14b) from live simulation runs:
+//
+//	starplot -ops 8000 -out ./figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nvmstar/internal/experiments"
+	"nvmstar/internal/sim"
+	"nvmstar/internal/svgplot"
+)
+
+func main() {
+	ops := flag.Int("ops", 8000, "measured operations per workload run")
+	out := flag.String("out", "figures", "output directory for SVG files")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	o := experiments.DefaultOptions()
+	o.Ops = *ops
+	o.Config = func() sim.Config {
+		cfg := sim.Default()
+		cfg.DataBytes = 64 << 20
+		cfg.MetaCache.SizeBytes = 256 << 10
+		return cfg
+	}
+
+	write := func(name string, chart *svgplot.BarChart) {
+		svg, err := chart.SVG()
+		if err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	// Figs. 11-13 share one scheme-comparison run.
+	rows, err := experiments.SchemeComparison(o, []string{"wb", "star", "anubis", "strict"})
+	if err != nil {
+		fail(err)
+	}
+	experiments.SortSchemeRows(rows)
+	schemes := []string{"star", "anubis", "strict"}
+	chartOf := func(title, ylabel string, metric func(experiments.SchemeRow) float64, ymax float64) *svgplot.BarChart {
+		byWorkload := map[string]map[string]float64{}
+		var order []string
+		for _, r := range rows {
+			if byWorkload[r.Workload] == nil {
+				byWorkload[r.Workload] = map[string]float64{}
+				order = append(order, r.Workload)
+			}
+			byWorkload[r.Workload][r.Scheme] = metric(r)
+		}
+		ref := 1.0
+		c := &svgplot.BarChart{Title: title, YLabel: ylabel, Series: schemes, YMax: ymax, RefLine: &ref}
+		for _, wl := range order {
+			g := svgplot.BarGroup{Label: wl}
+			for _, s := range schemes {
+				g.Values = append(g.Values, byWorkload[wl][s])
+			}
+			c.Groups = append(c.Groups, g)
+		}
+		return c
+	}
+	write("fig11_write_traffic.svg", chartOf(
+		"Fig. 11: NVM write traffic (normalized to WB)", "writes vs WB",
+		func(r experiments.SchemeRow) float64 { return r.WriteRatio }, 8))
+	write("fig12_ipc.svg", chartOf(
+		"Fig. 12: IPC (normalized to WB)", "IPC vs WB",
+		func(r experiments.SchemeRow) float64 { return r.IPCRatio }, 1.1))
+	write("fig13_energy.svg", chartOf(
+		"Fig. 13: NVM energy (normalized to WB)", "energy vs WB",
+		func(r experiments.SchemeRow) float64 { return r.EnergyRatio }, 8))
+
+	// Fig. 10: bitmap-line writes per op under STAR vs WB writes per op.
+	fig10, err := experiments.Fig10(o)
+	if err != nil {
+		fail(err)
+	}
+	c10 := &svgplot.BarChart{
+		Title:  "Fig. 10: bitmap-line NVM writes vs WB writes (per op)",
+		YLabel: "lines per operation",
+		Series: []string{"WB writes", "STAR bitmap writes"},
+	}
+	for _, r := range fig10 {
+		c10.Groups = append(c10.Groups, svgplot.BarGroup{
+			Label:  r.Workload,
+			Values: []float64{float64(r.WBWrites) / float64(o.Ops), float64(r.BitmapWrites) / float64(o.Ops)},
+		})
+	}
+	write("fig10_bitmap_writes.svg", c10)
+
+	// Fig. 14a: dirty metadata fraction.
+	fig14a, err := experiments.Fig14a(o)
+	if err != nil {
+		fail(err)
+	}
+	c14a := &svgplot.BarChart{
+		Title:  "Fig. 14a: dirty metadata in cache at crash",
+		YLabel: "dirty fraction (%)",
+		Series: []string{"dirty %"},
+		YMax:   100,
+	}
+	for _, r := range fig14a {
+		c14a.Groups = append(c14a.Groups, svgplot.BarGroup{Label: r.Workload, Values: []float64{100 * r.DirtyFrac}})
+	}
+	write("fig14a_dirty_fraction.svg", c14a)
+
+	// Fig. 14b: recovery time vs metadata cache size.
+	fig14b, err := experiments.Fig14b(o, nil)
+	if err != nil {
+		fail(err)
+	}
+	c14b := &svgplot.BarChart{
+		Title:  "Fig. 14b: recovery time vs metadata cache size",
+		YLabel: "recovery time (ms)",
+		Series: []string{"STAR", "Anubis"},
+	}
+	for _, r := range fig14b {
+		c14b.Groups = append(c14b.Groups, svgplot.BarGroup{
+			Label:  fmt.Sprintf("%dKiB", r.MetaCacheBytes>>10),
+			Values: []float64{r.StarSeconds * 1000, r.AnubisSeconds * 1000},
+		})
+	}
+	write("fig14b_recovery_time.svg", c14b)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "starplot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Command starreport runs the full evaluation matrix and emits a
+// markdown report of every reproduced relationship — the executable
+// form of EXPERIMENTS.md. The exit code is non-zero if any shape check
+// fails, so it doubles as a reproduction CI gate:
+//
+//	starreport -ops 8000 > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmstar/internal/experiments"
+	"nvmstar/internal/shapes"
+	"nvmstar/internal/sim"
+)
+
+func main() {
+	ops := flag.Int("ops", 8000, "measured operations per workload run")
+	seeds := flag.Int("seeds", 1, "seeds to average per cell")
+	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Ops = *ops
+	o.Seeds = *seeds
+	o.Config = func() sim.Config {
+		cfg := sim.Default()
+		cfg.DataBytes = uint64(*dataMB) << 20
+		cfg.MetaCache.SizeBytes = 256 << 10
+		return cfg
+	}
+
+	rep, err := shapes.Evaluate(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starreport:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Markdown())
+	if !rep.Passed() {
+		fmt.Fprintln(os.Stderr, "starreport: one or more shape checks FAILED")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+package nvmstar_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"nvmstar"
+)
+
+// Example shows the minimal crash-recovery cycle: persist data, lose
+// power, recover the security metadata with STAR, read back verified
+// plaintext.
+func Example() {
+	sys, err := nvmstar.New(nvmstar.Options{
+		Scheme:         "star",
+		DataBytes:      16 << 20,
+		MetaCacheBytes: 64 << 10,
+		Cores:          1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Store(0, []byte("hello, persistent world"))
+	sys.PersistRange(0, 23)
+
+	sys.Crash()
+	rep, err := sys.Recover()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recovered and verified: %v\n", rep.Verified)
+	fmt.Printf("%s\n", sys.Load(0, 23))
+	// Output:
+	// recovered and verified: true
+	// hello, persistent world
+}
+
+// ExampleSystem_RunBenchmark runs one of the paper's workloads and
+// inspects the measured traffic.
+func ExampleSystem_RunBenchmark() {
+	sys, err := nvmstar.New(nvmstar.Options{
+		Scheme:         "star",
+		DataBytes:      16 << 20,
+		MetaCacheBytes: 64 << 10,
+		Cores:          2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := sys.RunBenchmark("queue", 500)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("measured %d ops, NVM writes > 0: %v\n", res.Ops, res.Dev.Writes > 0)
+	// Output:
+	// measured 500 ops, NVM writes > 0: true
+}
+
+// ExampleSystem_SaveImage persists the machine's non-volatile state
+// across "process lifetimes": save after a crash, restore into a fresh
+// system, recover, read.
+func ExampleSystem_SaveImage() {
+	opts := nvmstar.Options{
+		Scheme:         "star",
+		DataBytes:      16 << 20,
+		MetaCacheBytes: 64 << 10,
+		Cores:          1,
+		Seed:           42, // the restoring system must match
+	}
+	sys, err := nvmstar.New(opts)
+	if err != nil {
+		panic(err)
+	}
+	sys.Store(64, []byte("survives the process"))
+	sys.PersistRange(64, 20)
+	sys.Crash()
+
+	var image bytes.Buffer
+	if err := sys.SaveImage(&image); err != nil {
+		panic(err)
+	}
+
+	fresh, err := nvmstar.New(opts)
+	if err != nil {
+		panic(err)
+	}
+	if err := fresh.RestoreImage(&image); err != nil {
+		panic(err)
+	}
+	if _, err := fresh.Recover(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", fresh.Load(64, 20))
+	// Output:
+	// survives the process
+}

@@ -1,0 +1,145 @@
+// Kvstore: a crash-consistent key-value store running on secure NVM.
+//
+// The store keeps fixed-size records in a hash-indexed table and makes
+// each PUT durable with the persist-ordering idiom (write record,
+// CLWB, SFENCE, then publish the slot header). Underneath, every
+// persisted line is encrypted and integrity-protected, and STAR keeps
+// the security metadata recoverable — so after a power failure the
+// store recovers BOTH its own data (its commit protocol) and the
+// security metadata (STAR), and every GET still verifies.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"nvmstar"
+)
+
+// Record layout: one 64-byte line per slot.
+//
+//	0  valid+keyLen (8B): top bit valid, low bits key length
+//	8  key (24B)
+//	32 value (32B)
+const (
+	slots     = 4096
+	keyMax    = 24
+	valueMax  = 32
+	tableBase = 0
+)
+
+type kvStore struct {
+	sys *nvmstar.System
+}
+
+func slotAddr(slot uint64) uint64 { return tableBase + slot*nvmstar.LineSize }
+
+func hashKey(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Put stores key=value durably (linear probing).
+func (kv *kvStore) Put(key, value string) error {
+	if len(key) > keyMax || len(value) > valueMax {
+		return fmt.Errorf("kv: key/value too large")
+	}
+	for probe := uint64(0); probe < slots; probe++ {
+		slot := (hashKey(key) + probe) % slots
+		addr := slotAddr(slot)
+		hdr := kv.sys.Load(addr, 8)
+		word := binary.LittleEndian.Uint64(hdr)
+		occupied := word>>63 == 1
+		if occupied {
+			existing := kv.sys.Load(addr+8, int(word&0xff))
+			if string(existing) != key {
+				continue
+			}
+		}
+		// Write payload first, persist, then publish the header —
+		// a crash between the two leaves either the old record or a
+		// complete new one.
+		var keyBuf [keyMax]byte
+		copy(keyBuf[:], key)
+		var valBuf [valueMax]byte
+		copy(valBuf[:], value)
+		kv.sys.Store(addr+8, keyBuf[:])
+		kv.sys.Store(addr+32, valBuf[:])
+		kv.sys.PersistRange(addr+8, 56)
+		var hdrBuf [8]byte
+		binary.LittleEndian.PutUint64(hdrBuf[:], 1<<63|uint64(len(key)))
+		kv.sys.Store(addr, hdrBuf[:])
+		kv.sys.PersistRange(addr, 8)
+		return kv.sys.Err()
+	}
+	return fmt.Errorf("kv: table full")
+}
+
+// Get fetches a key's value, integrity-verified all the way down.
+func (kv *kvStore) Get(key string) (string, bool, error) {
+	for probe := uint64(0); probe < slots; probe++ {
+		slot := (hashKey(key) + probe) % slots
+		addr := slotAddr(slot)
+		word := binary.LittleEndian.Uint64(kv.sys.Load(addr, 8))
+		if word>>63 == 0 {
+			return "", false, kv.sys.Err()
+		}
+		stored := string(kv.sys.Load(addr+8, int(word&0xff)))
+		if stored == key {
+			val := kv.sys.Load(addr+32, valueMax)
+			end := 0
+			for end < len(val) && val[end] != 0 {
+				end++
+			}
+			return string(val[:end]), true, kv.sys.Err()
+		}
+	}
+	return "", false, kv.sys.Err()
+}
+
+func main() {
+	sys, err := nvmstar.New(nvmstar.Options{Scheme: "star"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv := &kvStore{sys: sys}
+
+	fmt.Println("loading 2000 records...")
+	for i := 0; i < 2000; i++ {
+		if err := kv.Put(fmt.Sprintf("user:%04d", i), fmt.Sprintf("balance=%d", i*17)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dirty := sys.Engine().MetaCache().DirtyCount()
+	fmt.Printf("dirty metadata lines in the controller: %d\n", dirty)
+
+	sys.Crash()
+	fmt.Println("-- power failure --")
+
+	rep, err := sys.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("STAR recovered %d stale metadata blocks in %.6fs (modeled)\n",
+		rep.StaleNodes, rep.TimeSeconds())
+
+	fmt.Println("verifying all 2000 records after recovery...")
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("user:%04d", i)
+		val, ok, err := kv.Get(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok || val != fmt.Sprintf("balance=%d", i*17) {
+			log.Fatalf("record %q lost or corrupted (%q, ok=%v)", key, val, ok)
+		}
+	}
+	fmt.Println("all records intact, decrypted and integrity-verified")
+}

@@ -1,0 +1,69 @@
+// Quickstart: write data to secure NVM, lose power, recover the
+// security metadata with STAR, and read the data back — decrypted and
+// integrity-verified.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvmstar"
+)
+
+func main() {
+	sys, err := nvmstar.New(nvmstar.Options{Scheme: "star"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Store a few records and persist them (CLWB + SFENCE). Every
+	// persisted line is encrypted with a fresh counter and carries the
+	// counter's 10 LSBs in its MAC field — that is counter-MAC
+	// synergization: the counter block's modification rides along for
+	// free.
+	records := map[uint64]string{
+		0 * nvmstar.LineSize: "alpha",
+		1 * nvmstar.LineSize: "bravo",
+		9 * nvmstar.LineSize: "charlie",
+	}
+	for addr, val := range records {
+		sys.Store(addr, []byte(val))
+		sys.PersistRange(addr, len(val))
+	}
+	if err := sys.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	dirty := sys.Engine().MetaCache().DirtyCount()
+	fmt.Printf("before crash: %d dirty metadata lines in the controller cache\n", dirty)
+
+	// Power failure. All volatile state is gone; the bitmap lines in
+	// ADR reach NVM on battery; the cache-tree root survives on chip.
+	sys.Crash()
+	fmt.Println("-- power failure --")
+
+	// Recovery: the multi-layer index locates the stale metadata, each
+	// stale block's counters are rebuilt from its children's MAC-field
+	// LSBs, and the reconstructed cache-tree root is checked.
+	rep, err := sys.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered %d stale metadata blocks in %.6fs (modeled), verified=%v\n",
+		rep.StaleNodes, rep.TimeSeconds(), rep.Verified)
+
+	// The data is intact and verifiable.
+	for addr, want := range records {
+		got := sys.Load(addr, len(want))
+		if err := sys.Err(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %#04x: %q\n", addr, got)
+		if string(got) != want {
+			log.Fatalf("data mismatch at %#x", addr)
+		}
+	}
+	fmt.Println("all records verified after recovery")
+}

@@ -1,0 +1,3 @@
+module nvmstar
+
+go 1.22

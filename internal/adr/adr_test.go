@@ -1,0 +1,167 @@
+package adr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// backing is a trivial in-memory backing store for pool tests.
+type backing struct {
+	data   map[uint64]Words
+	loads  int
+	spills int
+}
+
+func newBacking() *backing { return &backing{data: make(map[uint64]Words)} }
+
+func (b *backing) load(id uint64) Words {
+	b.loads++
+	return b.data[id]
+}
+
+func (b *backing) spill(id uint64, w Words) {
+	b.spills++
+	b.data[id] = w
+}
+
+func TestWordsBitOps(t *testing.T) {
+	var w Words
+	if !w.IsZero() || w.PopCount() != 0 {
+		t.Fatal("zero words not zero")
+	}
+	if !w.Set(0) || !w.Set(511) || !w.Set(64) {
+		t.Fatal("Set on clear bit returned false")
+	}
+	if w.Set(0) {
+		t.Fatal("Set on set bit returned true")
+	}
+	if !w.Test(0) || !w.Test(511) || !w.Test(64) || w.Test(1) {
+		t.Fatal("Test mismatch")
+	}
+	if w.PopCount() != 3 {
+		t.Fatalf("PopCount = %d", w.PopCount())
+	}
+	if !w.Clear(64) || w.Clear(64) {
+		t.Fatal("Clear transitions wrong")
+	}
+	if w.PopCount() != 2 || w.IsZero() {
+		t.Fatal("state after Clear wrong")
+	}
+}
+
+func TestWordsQuickSetClearInverse(t *testing.T) {
+	f := func(bits []uint16) bool {
+		var w Words
+		for _, b := range bits {
+			w.Set(uint(b % 512))
+		}
+		for _, b := range bits {
+			w.Clear(uint(b % 512))
+		}
+		return w.IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	b := newBacking()
+	if _, err := NewPool(0, b.load, b.spill); err == nil {
+		t.Error("zero-slot pool accepted")
+	}
+	if _, err := NewPool(1, nil, b.spill); err == nil {
+		t.Error("nil load accepted")
+	}
+	if _, err := NewPool(1, b.load, nil); err == nil {
+		t.Error("nil spill accepted")
+	}
+}
+
+func TestPoolHitMiss(t *testing.T) {
+	b := newBacking()
+	p, err := NewPool(2, b.load, b.spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Access(1)
+	w.Set(5)
+	if s := p.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("stats after first access: %+v", s)
+	}
+	w2 := p.Access(1)
+	if !w2.Test(5) {
+		t.Fatal("resident mutation lost")
+	}
+	if s := p.Stats(); s.Hits != 1 {
+		t.Fatalf("stats after hit: %+v", s)
+	}
+}
+
+func TestPoolLRUEvictionSpills(t *testing.T) {
+	b := newBacking()
+	p, _ := NewPool(2, b.load, b.spill)
+	p.Access(1).Set(1)
+	p.Access(2).Set(2)
+	p.Access(1) // touch 1; 2 becomes LRU
+	p.Access(3) // evicts 2
+	if b.spills != 1 {
+		t.Fatalf("spills = %d", b.spills)
+	}
+	if got := b.data[2]; !got.Test(2) {
+		t.Fatal("evicted line content not spilled")
+	}
+	// Re-access 2: must load the spilled content back.
+	if w := p.Access(2); !w.Test(2) {
+		t.Fatal("reloaded line lost content")
+	}
+}
+
+func TestPoolFlush(t *testing.T) {
+	b := newBacking()
+	p, _ := NewPool(4, b.load, b.spill)
+	p.Access(10).Set(1)
+	p.Access(20).Set(2)
+	flushed := make(map[uint64]Words)
+	p.Flush(func(id uint64, w Words) { flushed[id] = w })
+	w10, w20 := flushed[10], flushed[20]
+	if len(flushed) != 2 || !w10.Test(1) || !w20.Test(2) {
+		t.Fatalf("flushed = %v", flushed)
+	}
+	if _, ok := p.Peek(10); ok {
+		t.Fatal("pool not empty after Flush")
+	}
+	// Flush with nil fn must use the pool's spill.
+	p.Access(30).Set(3)
+	p.Flush(nil)
+	w30 := b.data[30]
+	if !w30.Test(3) {
+		t.Fatal("nil-fn Flush did not spill")
+	}
+}
+
+func TestPoolRoundTripThroughBacking(t *testing.T) {
+	// Property: content written through the pool is never lost, no
+	// matter the access pattern, because eviction spills and miss
+	// loads are symmetric.
+	b := newBacking()
+	p, _ := NewPool(3, b.load, b.spill)
+	f := func(ids []uint8) bool {
+		expect := make(map[uint64]uint)
+		for i, raw := range ids {
+			id := uint64(raw % 16)
+			bit := uint(i % 512)
+			p.Access(id).Set(bit)
+			expect[id] = bit
+		}
+		for id, bit := range expect {
+			if !p.Access(id).Test(bit) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

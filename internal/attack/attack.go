@@ -1,0 +1,107 @@
+// Package attack injects the adversarial actions of the paper's threat
+// model into the simulated NVM: replaying old (data, MAC, LSB) tuples,
+// tampering with metadata blocks, bitmap lines in the recovery area,
+// and shadow-table blocks. All mutations go through the device's
+// unaccounted Poke path — an attacker's writes are not part of the
+// measured traffic — and the integrity machinery (SIT verification at
+// runtime, the cache-tree or ST root at recovery) is expected to
+// detect every one of them.
+package attack
+
+import (
+	"fmt"
+
+	"nvmstar/internal/memline"
+	"nvmstar/internal/secmem"
+	"nvmstar/internal/sit"
+)
+
+// DataSnapshot captures a user-data line's full NVM tuple — ciphertext
+// plus sideband MAC field (which, under STAR, also carries the parent
+// counter LSBs) — for a later replay.
+type DataSnapshot struct {
+	Addr    uint64
+	Line    memline.Line
+	MAC     uint64
+	Present bool
+}
+
+// SnapshotData records the current NVM tuple of a data line.
+func SnapshotData(e *secmem.Engine, addr uint64) DataSnapshot {
+	addr = memline.Align(addr)
+	line, present := e.Device().Peek(addr)
+	mac, _ := e.PeekDataMAC(addr)
+	return DataSnapshot{Addr: addr, Line: line, MAC: mac, Present: present}
+}
+
+// Replay writes the snapshot back over the current NVM state — the
+// classic replay attack: data, MAC and LSBs are mutually consistent,
+// only stale.
+func (s DataSnapshot) Replay(e *secmem.Engine) {
+	e.Device().Poke(s.Addr, s.Line)
+	e.PokeDataMAC(s.Addr, s.MAC)
+}
+
+// MetaSnapshot captures a metadata node's NVM line for a later replay.
+type MetaSnapshot struct {
+	ID      sit.NodeID
+	Line    memline.Line
+	Present bool
+}
+
+// SnapshotMeta records the current NVM image of a metadata node.
+func SnapshotMeta(e *secmem.Engine, id sit.NodeID) MetaSnapshot {
+	line, present := e.Device().Peek(e.Geometry().NodeAddr(id))
+	return MetaSnapshot{ID: id, Line: line, Present: present}
+}
+
+// Replay writes the stale node image back to NVM.
+func (s MetaSnapshot) Replay(e *secmem.Engine) {
+	e.Device().Poke(e.Geometry().NodeAddr(s.ID), s.Line)
+}
+
+// TamperMeta flips one bit of a metadata node's NVM image.
+func TamperMeta(e *secmem.Engine, id sit.NodeID, bit uint) {
+	addr := e.Geometry().NodeAddr(id)
+	tamperLine(e, addr, bit)
+}
+
+// TamperData flips one bit of a data line's NVM image.
+func TamperData(e *secmem.Engine, addr uint64, bit uint) {
+	tamperLine(e, memline.Align(addr), bit)
+}
+
+// TamperDataMAC flips one bit of a data line's sideband MAC field.
+func TamperDataMAC(e *secmem.Engine, addr uint64, bit uint) {
+	addr = memline.Align(addr)
+	mac, _ := e.PeekDataMAC(addr)
+	e.PokeDataMAC(addr, mac^(1<<(bit%64)))
+}
+
+// TamperBitmapLine flips one bit of an L1 bitmap line in the recovery
+// area — an attack on the stale-location information itself.
+func TamperBitmapLine(e *secmem.Engine, l1Idx uint64, bit uint) error {
+	geo := e.Geometry()
+	if l1Idx >= geo.RAL1Lines() {
+		return fmt.Errorf("attack: L1 bitmap line %d out of range", l1Idx)
+	}
+	tamperLine(e, geo.RAL1Addr(l1Idx), bit)
+	return nil
+}
+
+// TamperST flips one bit of an Anubis shadow-table slot.
+func TamperST(e *secmem.Engine, slot uint64, bit uint) error {
+	geo := e.Geometry()
+	if slot >= geo.STLines() {
+		return fmt.Errorf("attack: ST slot %d out of range", slot)
+	}
+	tamperLine(e, geo.STAddr(slot), bit)
+	return nil
+}
+
+func tamperLine(e *secmem.Engine, addr uint64, bit uint) {
+	bit %= memline.Bits
+	line, _ := e.Device().Peek(addr)
+	line[bit/8] ^= 1 << (bit % 8)
+	e.Device().Poke(addr, line)
+}

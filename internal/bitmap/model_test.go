@@ -1,0 +1,55 @@
+package bitmap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestTrackerMatchesSetModel drives the tracker with random
+// mark-stale/mark-fresh sequences and checks that a post-crash scan
+// returns exactly the reference set, regardless of how often lines
+// were spilled to and reloaded from the recovery area.
+func TestTrackerMatchesSetModel(t *testing.T) {
+	type op struct {
+		Idx   uint16
+		Stale bool
+	}
+	f := func(ops []op, l1Lines, l2Lines uint8) bool {
+		cfg := Config{
+			ADRL1Lines: int(l1Lines%6) + 1,
+			ADRL2Lines: int(l2Lines%2) + 1,
+		}
+		tr, geo, _ := setup(t, 1<<22, cfg)
+		model := make(map[uint64]bool)
+		for _, o := range ops {
+			idx := uint64(o.Idx) % geo.MetaLines()
+			if o.Stale {
+				tr.MarkStale(idx)
+				model[idx] = true
+			} else {
+				tr.MarkFresh(idx)
+				delete(model, idx)
+			}
+		}
+		tr.Crash()
+		got := tr.ScanStale().StaleMetaIdx
+		want := make([]uint64, 0, len(model))
+		for idx := range model {
+			want = append(want, idx)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+package bmt
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nvmstar/internal/cache"
+	"nvmstar/internal/memline"
+	"nvmstar/internal/simcrypto"
+)
+
+func newEngine(t testing.TB, policy Policy) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		DataBytes: 1 << 20, // 256 pages
+		MetaCache: cache.Config{SizeBytes: 8 << 10, Ways: 8},
+		Suite:     simcrypto.NewFast(777),
+		Policy:    policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func line(tag uint64) memline.Line {
+	var l memline.Line
+	for i := range l {
+		l[i] = byte(tag) ^ byte(i*7)
+	}
+	return l
+}
+
+func TestCounterBlockCodecRoundTrip(t *testing.T) {
+	f := func(major uint64, minors [MinorsPerBlock]uint8) bool {
+		var cb CounterBlock
+		cb.Major = major
+		for i, m := range minors {
+			cb.Minors[i] = m & 0x7f
+		}
+		return DecodeCounterBlock(cb.Encode()) == cb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterComposition(t *testing.T) {
+	cb := CounterBlock{Major: 5}
+	cb.Minors[3] = 9
+	if got := cb.Counter(3); got != 5<<7|9 {
+		t.Fatalf("Counter = %d", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	e := newEngine(t, PolicyWB{})
+	for i := uint64(0); i < 300; i++ {
+		addr := (i * 37 % 16384) * memline.Size
+		if err := e.WriteLine(addr, line(i)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.ReadLine(addr)
+		if err != nil || got != line(i) {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+	}
+}
+
+func TestMinorOverflowReencryptsPage(t *testing.T) {
+	e := newEngine(t, PolicyWB{})
+	// Prime several lines of page 0 so re-encryption has work to do.
+	for s := uint64(0); s < 5; s++ {
+		if err := e.WriteLine(s*memline.Size, line(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hammer one line past the 7-bit minor space.
+	var last memline.Line
+	for i := 0; i < 200; i++ {
+		last = line(uint64(1000 + i))
+		if err := e.WriteLine(0, last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats().Reencryptions == 0 {
+		t.Fatal("no re-encryption after 200 writes to one line")
+	}
+	// All page content must still decrypt and verify.
+	if got, err := e.ReadLine(0); err != nil || got != last {
+		t.Fatalf("hammered line: %v", err)
+	}
+	for s := uint64(1); s < 5; s++ {
+		if got, err := e.ReadLine(s * memline.Size); err != nil || got != line(s) {
+			t.Fatalf("sibling line %d after re-encryption: %v", s, err)
+		}
+	}
+}
+
+func TestWBCannotRecover(t *testing.T) {
+	e := newEngine(t, PolicyWB{})
+	if err := e.WriteLine(0, line(1)); err != nil {
+		t.Fatal(err)
+	}
+	e.Crash()
+	if _, err := e.Recover(); !errors.Is(err, ErrNoRecovery) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func workload(t *testing.T, e *Engine, n int, seed uint64) map[uint64]memline.Line {
+	t.Helper()
+	expect := make(map[uint64]memline.Line)
+	x := seed
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addr := (x >> 11 % 16384) * memline.Size
+		l := line(x)
+		if err := e.WriteLine(addr, l); err != nil {
+			t.Fatal(err)
+		}
+		expect[addr] = l
+	}
+	return expect
+}
+
+func TestOsirisCrashRecovery(t *testing.T) {
+	e := newEngine(t, PolicyOsiris{Stride: 4})
+	expect := workload(t, e, 2000, 3)
+	e.Crash()
+	rep, err := e.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatalf("not verified: %+v", rep)
+	}
+	for addr, want := range expect {
+		got, err := e.ReadLine(addr)
+		if err != nil || got != want {
+			t.Fatalf("read %#x after recovery: %v", addr, err)
+		}
+	}
+}
+
+func TestOsirisRecoveryScansEverything(t *testing.T) {
+	// The paper's criticism: Osiris cannot distinguish stale from
+	// fresh counter blocks, so recovery touches every block (and
+	// probes every covered line) regardless of how many were dirty.
+	e := newEngine(t, PolicyOsiris{Stride: 4})
+	workload(t, e, 50, 4) // tiny run
+	e.Crash()
+	rep, err := e.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LineReads < e.NumCounterBlocks() {
+		t.Fatalf("Osiris read %d lines, expected a full scan of %d counter blocks",
+			rep.LineReads, e.NumCounterBlocks())
+	}
+}
+
+func TestOsirisWithReencryption(t *testing.T) {
+	e := newEngine(t, PolicyOsiris{Stride: 8})
+	// Force minor overflow, then only a few more updates, then crash.
+	for i := 0; i < 140; i++ {
+		if err := e.WriteLine(0, line(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := line(999)
+	if err := e.WriteLine(0, want); err != nil {
+		t.Fatal(err)
+	}
+	e.Crash()
+	rep, err := e.Recover()
+	if err != nil || !rep.Verified {
+		t.Fatalf("recovery: %v (%+v)", err, rep)
+	}
+	if got, err := e.ReadLine(0); err != nil || got != want {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}
+
+func TestTriadCrashRecovery(t *testing.T) {
+	for _, levels := range []int{1, 2} {
+		e := newEngine(t, PolicyTriad{Levels: levels})
+		expect := workload(t, e, 1500, 5)
+		e.Crash()
+		rep, err := e.Recover()
+		if err != nil || !rep.Verified {
+			t.Fatalf("levels=%d: %v (%+v)", levels, err, rep)
+		}
+		for addr, want := range expect {
+			got, err := e.ReadLine(addr)
+			if err != nil || got != want {
+				t.Fatalf("levels=%d: read %#x: %v", levels, addr, err)
+			}
+		}
+	}
+}
+
+func TestTriadWriteAmplification(t *testing.T) {
+	// Triad-NVM needs 2-4x memory writes (paper Section II-E): one
+	// data write plus the written-through counter block plus N tree
+	// levels.
+	writes := map[int]uint64{}
+	for _, levels := range []int{0, 1, 2} {
+		var e *Engine
+		if levels == 0 {
+			e = newEngine(t, PolicyWB{})
+		} else {
+			e = newEngine(t, PolicyTriad{Levels: levels})
+		}
+		workload(t, e, 1500, 6)
+		s := e.Device().Stats()
+		writes[levels] = s.Writes
+	}
+	if r := float64(writes[1]) / float64(writes[0]); r < 1.8 || r > 3.6 {
+		t.Errorf("Triad L=1 amplification %.2fx, expected 2-3.5x", r)
+	}
+	if writes[2] <= writes[1] {
+		t.Errorf("more persisted levels wrote less: L1=%d L2=%d", writes[1], writes[2])
+	}
+}
+
+func TestTamperDetectedAtRecovery(t *testing.T) {
+	e := newEngine(t, PolicyTriad{Levels: 1})
+	workload(t, e, 800, 7)
+	e.Crash()
+	// Flip a bit in a persisted counter block.
+	addr := e.cbAddr(0)
+	l, _ := e.Device().Peek(addr)
+	l[3] ^= 0x10
+	e.Device().Poke(addr, l)
+	if _, err := e.Recover(); !errors.Is(err, ErrVerification) {
+		t.Fatalf("tampering not detected: %v", err)
+	}
+}
+
+func TestRuntimeTamperDetected(t *testing.T) {
+	e := newEngine(t, PolicyWB{})
+	if err := e.WriteLine(64, line(1)); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := e.Device().Peek(64)
+	l[0] ^= 1
+	e.Device().Poke(64, l)
+	if _, err := e.ReadLine(64); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tamper read err = %v", err)
+	}
+}
+
+func TestRootReflectsEveryWrite(t *testing.T) {
+	e := newEngine(t, PolicyWB{})
+	r0 := e.Root()
+	if err := e.WriteLine(0, line(1)); err != nil {
+		t.Fatal(err)
+	}
+	r1 := e.Root()
+	if r0 == r1 {
+		t.Fatal("root unchanged by a write (eager update broken)")
+	}
+	if err := e.WriteLine(0, line(2)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Root() == r1 {
+		t.Fatal("root unchanged by a second write")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{DataBytes: 100, Suite: simcrypto.NewFast(1)}); err == nil {
+		t.Fatal("non-page-multiple size accepted")
+	}
+	if _, err := New(Config{DataBytes: PageBytes}); err == nil {
+		t.Fatal("nil suite accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package bmt
+
+import (
+	"testing"
+
+	"nvmstar/internal/memline"
+)
+
+// FuzzCounterBlockCodec checks the split-counter codec is a bijection
+// on its value space: any (major, 7-bit minors) round-trips, and any
+// 64-byte line decodes to a block that re-encodes to the same line.
+func FuzzCounterBlockCodec(f *testing.F) {
+	f.Add(make([]byte, memline.Size))
+	seed := make([]byte, memline.Size)
+	for i := range seed {
+		seed[i] = byte(255 - i)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < memline.Size {
+			return
+		}
+		var line memline.Line
+		copy(line[:], data)
+		cb := DecodeCounterBlock(line)
+		for _, m := range cb.Minors {
+			if m > 0x7f {
+				t.Fatalf("decoded minor exceeds 7 bits: %d", m)
+			}
+		}
+		reencoded := DecodeCounterBlock(cb.Encode())
+		if reencoded != cb {
+			t.Fatalf("decode(encode(decode(x))) != decode(x)")
+		}
+	})
+}

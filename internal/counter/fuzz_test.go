@@ -1,0 +1,64 @@
+package counter
+
+import (
+	"testing"
+
+	"nvmstar/internal/memline"
+	"nvmstar/internal/simcrypto"
+)
+
+// FuzzDecodeEncode checks that decoding any 64-byte line and
+// re-encoding it is the identity: the codec must be a bijection on the
+// full line space (every line is a valid node), or recovery could
+// corrupt blocks it merely passes through.
+func FuzzDecodeEncode(f *testing.F) {
+	f.Add(make([]byte, memline.Size))
+	seed := make([]byte, memline.Size)
+	for i := range seed {
+		seed[i] = byte(i*37 + 1)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < memline.Size {
+			return
+		}
+		var line memline.Line
+		copy(line[:], data)
+		node := Decode(line)
+		if got := node.Encode(); got != line {
+			t.Fatalf("decode/encode not identity:\n in  %x\n out %x", line, got)
+		}
+	})
+}
+
+// FuzzCombineLSB checks the reconstruction invariant on arbitrary
+// inputs: whenever the true counter is within the forced-flush window
+// of the stale copy, CombineLSB restores it exactly.
+func FuzzCombineLSB(f *testing.F) {
+	f.Add(uint64(0), uint16(0))
+	f.Add(uint64(1023), uint16(1))
+	f.Add(uint64(5*1024+900), uint16(500))
+	f.Fuzz(func(t *testing.T, stale uint64, adv uint16) {
+		stale &= CounterMask >> 1 // headroom below the 56-bit limit
+		truth := stale + uint64(adv)%(simcrypto.LSBMask+1)
+		if got := CombineLSB(stale, truth&simcrypto.LSBMask); got != truth {
+			t.Fatalf("CombineLSB(%d, lsb(%d)) = %d", stale, truth, got)
+		}
+	})
+}
+
+// FuzzMACFieldPacking checks that packing never lets the MAC and LSB
+// fields interfere.
+func FuzzMACFieldPacking(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, mac, lsb uint64) {
+		field := PackMACField(mac, lsb)
+		if MAC54(field) != mac&simcrypto.MAC54Mask {
+			t.Fatalf("MAC corrupted by packing")
+		}
+		if LSB10(field) != lsb&simcrypto.LSBMask {
+			t.Fatalf("LSB corrupted by packing")
+		}
+	})
+}

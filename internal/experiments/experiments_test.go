@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"testing"
+
+	"nvmstar/internal/cache"
+	"nvmstar/internal/sim"
+)
+
+// fastOpts shrinks everything so the whole experiment matrix runs in
+// test time; the assertions are qualitative (the paper's orderings).
+func fastOpts() Options {
+	return Options{
+		Ops:       1200,
+		Workloads: []string{"array", "queue"},
+		Config: func() sim.Config {
+			cfg := sim.Default()
+			cfg.Cores = 4
+			cfg.DataBytes = 16 << 20
+			cfg.L1 = cache.Config{SizeBytes: 8 << 10, Ways: 2}
+			cfg.L2 = cache.Config{SizeBytes: 32 << 10, Ways: 8}
+			cfg.L3 = cache.Config{SizeBytes: 128 << 10, Ways: 8}
+			cfg.MetaCache = cache.Config{SizeBytes: 64 << 10, Ways: 8}
+			return cfg
+		},
+	}
+}
+
+func TestFig10(t *testing.T) {
+	rows, err := Fig10(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WBWrites == 0 {
+			t.Fatalf("%s: no WB writes", r.Workload)
+		}
+		if r.Ratio < 1 {
+			t.Fatalf("%s: bitmap lines written more often than all WB writes (ratio %.2f)", r.Workload, r.Ratio)
+		}
+	}
+}
+
+func TestSchemeComparisonOrdering(t *testing.T) {
+	rows, err := SchemeComparison(fastOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]SchemeRow{}
+	for _, r := range rows {
+		byKey[r.Workload+"/"+r.Scheme] = r
+	}
+	for _, wl := range []string{"array", "queue"} {
+		wb := byKey[wl+"/wb"]
+		star := byKey[wl+"/star"]
+		anubis := byKey[wl+"/anubis"]
+		strictRow := byKey[wl+"/strict"]
+		if wb.WriteRatio != 1 || wb.IPCRatio != 1 || wb.EnergyRatio != 1 {
+			t.Fatalf("%s: WB not normalized to itself: %+v", wl, wb)
+		}
+		if star.WriteRatio >= anubis.WriteRatio {
+			t.Errorf("%s: STAR writes (%.2fx) >= Anubis (%.2fx)", wl, star.WriteRatio, anubis.WriteRatio)
+		}
+		if anubis.WriteRatio >= strictRow.WriteRatio {
+			t.Errorf("%s: Anubis writes (%.2fx) >= strict (%.2fx)", wl, anubis.WriteRatio, strictRow.WriteRatio)
+		}
+		if star.IPCRatio < anubis.IPCRatio {
+			t.Errorf("%s: STAR IPC (%.2f) < Anubis (%.2f)", wl, star.IPCRatio, anubis.IPCRatio)
+		}
+		if star.EnergyRatio >= anubis.EnergyRatio {
+			t.Errorf("%s: STAR energy (%.2fx) >= Anubis (%.2fx)", wl, star.EnergyRatio, anubis.EnergyRatio)
+		}
+	}
+}
+
+func TestTable2Monotonic(t *testing.T) {
+	rows, err := Table2(fastOpts(), []int{2, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].HitRatio < rows[i-1].HitRatio {
+			t.Fatalf("hit ratio fell from %.2f (%d lines) to %.2f (%d lines)",
+				rows[i-1].HitRatio, rows[i-1].ADRLines, rows[i].HitRatio, rows[i].ADRLines)
+		}
+	}
+}
+
+func TestFig14a(t *testing.T) {
+	rows, err := Fig14a(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.DirtyFrac < 0 || r.DirtyFrac > 1 {
+			t.Fatalf("%s: dirty fraction %v", r.Workload, r.DirtyFrac)
+		}
+	}
+}
+
+func TestFig14b(t *testing.T) {
+	o := fastOpts()
+	rows, err := Fig14b(o, []int{32 << 10, 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.StarSeconds <= 0 || r.AnubisSeconds <= 0 {
+			t.Fatalf("zero recovery time: %+v", r)
+		}
+	}
+	// Recovery work grows with the metadata cache size.
+	if rows[1].AnubisSeconds <= rows[0].AnubisSeconds {
+		t.Errorf("Anubis recovery did not grow with cache size: %+v", rows)
+	}
+}
+
+func TestAblationIndex(t *testing.T) {
+	o := fastOpts()
+	o.Workloads = []string{"queue"}
+	rows, err := AblationIndex(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.IndexedReads > r.FlatReads {
+		// The index only wins when bitmap lines are sparse; with a
+		// tiny config everything may be non-zero, but indexed must
+		// never read more than flat + the L2 layer.
+		t.Logf("indexed %d vs flat %d (dense bitmap)", r.IndexedReads, r.FlatReads)
+	}
+	if r.IndexedSecs <= 0 || r.FlatSecs <= 0 {
+		t.Fatalf("zero recovery time: %+v", r)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "bb"}, [][]string{{"x", "y"}, {"longer", "z"}})
+	if out == "" {
+		t.Fatal("empty table")
+	}
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 4 { // header + separator + 2 rows
+		t.Fatalf("table has %d lines:\n%s", lines, out)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatCSV(t *testing.T) {
+	out := FormatCSV([]string{"a", "b"}, [][]string{{"1", "2"}, {"with,comma", `with"quote`}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != `"with,comma","with""quote"` {
+		t.Fatalf("escaped row = %q", lines[2])
+	}
+}
+
+func TestSortSchemeRows(t *testing.T) {
+	rows := []SchemeRow{
+		{Workload: "queue", Scheme: "star"},
+		{Workload: "array", Scheme: "anubis"},
+		{Workload: "array", Scheme: "wb"},
+		{Workload: "queue", Scheme: "wb"},
+	}
+	SortSchemeRows(rows)
+	want := []struct{ w, s string }{
+		{"array", "wb"}, {"array", "anubis"}, {"queue", "wb"}, {"queue", "star"},
+	}
+	for i, w := range want {
+		if rows[i].Workload != w.w || rows[i].Scheme != w.s {
+			t.Fatalf("row %d = %s/%s, want %s/%s", i, rows[i].Workload, rows[i].Scheme, w.w, w.s)
+		}
+	}
+}
+
+func TestSeedAveraging(t *testing.T) {
+	o := fastOpts()
+	o.Workloads = []string{"queue"}
+	o.Seeds = 2
+	rows, err := SchemeComparison(o, []string{"wb", "star"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WritesPerOp <= 0 || r.IPC <= 0 {
+			t.Fatalf("averaged row has zero metrics: %+v", r)
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Ops <= 0 {
+		t.Fatal("default ops not positive")
+	}
+	if got := o.workloads(); len(got) != 7 {
+		t.Fatalf("default workloads = %v", got)
+	}
+	cfg := o.config()
+	if cfg.DataBytes == 0 || cfg.MetaCache.SizeBytes == 0 {
+		t.Fatal("default config incomplete")
+	}
+	if o.ops("strict") >= o.ops("star") {
+		t.Fatal("strict runs should be shortened")
+	}
+}

@@ -1,0 +1,147 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nvmstar/internal/memline"
+)
+
+func newHeap(t *testing.T) *Heap {
+	t.Helper()
+	h, err := New(NewSimpleMemory(), 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(NewSimpleMemory(), 0, 0); err == nil {
+		t.Fatal("empty region accepted")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	h := newHeap(t)
+	small, err := h.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small%16 != 0 {
+		t.Errorf("16B alloc at %#x not 16-aligned", small)
+	}
+	big, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big%memline.Size != 0 {
+		t.Errorf("64B alloc at %#x not line-aligned", big)
+	}
+	huge, err := h.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge%memline.Size != 0 {
+		t.Errorf("1000B alloc at %#x not line-aligned", huge)
+	}
+}
+
+func TestAllocDistinct(t *testing.T) {
+	h := newHeap(t)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		a, err := h.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[a] {
+			t.Fatalf("address %#x handed out twice", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Alloc(64)
+	h.Free(a, 64)
+	b, _ := h.Alloc(64)
+	if a != b {
+		t.Errorf("freed block not reused: %#x then %#x", a, b)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	h, _ := New(NewSimpleMemory(), 0, 256)
+	if _, err := h.Alloc(512); err == nil {
+		t.Fatal("oversized alloc accepted")
+	}
+	if _, err := h.Alloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Alloc(64)
+	h.WriteU64(a, 0xdeadbeef12345678)
+	if got := h.ReadU64(a); got != 0xdeadbeef12345678 {
+		t.Fatalf("round trip = %#x", got)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Alloc(64)
+	data := []byte{1, 2, 3, 4, 5}
+	h.WriteBytes(a+3, data)
+	got := h.ReadBytes(a+3, 5)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestSimpleMemoryCounters(t *testing.T) {
+	m := NewSimpleMemory()
+	m.Store(0, []byte{1})
+	m.Load(0, make([]byte, 1))
+	m.Persist(0, 64)
+	if m.Stores != 1 || m.Loads != 1 || m.Persists != 1 {
+		t.Fatalf("counters: %d stores, %d loads, %d persists", m.Stores, m.Loads, m.Persists)
+	}
+}
+
+func TestHeapQuickWriteReadDisjoint(t *testing.T) {
+	// Property: values written to distinct allocations never clobber
+	// each other.
+	h := newHeap(t)
+	f := func(vals []uint64) bool {
+		if len(vals) > 50 {
+			vals = vals[:50]
+		}
+		addrs := make([]uint64, len(vals))
+		for i, v := range vals {
+			a, err := h.Alloc(8)
+			if err != nil {
+				return false
+			}
+			addrs[i] = a
+			h.WriteU64(a, v)
+		}
+		for i, v := range vals {
+			if h.ReadU64(addrs[i]) != v {
+				return false
+			}
+		}
+		for _, a := range addrs {
+			h.Free(a, 8)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

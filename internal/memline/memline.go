@@ -1,0 +1,54 @@
+// Package memline defines the 64-byte memory line, the unit of every
+// transfer in the simulated machine: user data, counter blocks, SGX
+// integrity tree (SIT) nodes and bitmap lines are all exactly one line.
+//
+// Addresses throughout the simulator are byte addresses; helpers here
+// convert between byte addresses and line indices and enforce alignment.
+package memline
+
+import "fmt"
+
+// Size is the size of a memory line in bytes. Caches, NVM and all
+// security metadata operate at this granularity, matching the paper's
+// 64 B cache-line/metadata-block size.
+const Size = 64
+
+// Bits is the number of bits in a memory line (512). One bitmap line
+// therefore covers 512 metadata lines (32 KB of metadata space).
+const Bits = Size * 8
+
+// Line is one 64-byte memory line. The zero value is an all-zero line,
+// which is also the initial content of every never-written NVM line.
+type Line [Size]byte
+
+// IsZero reports whether every byte of the line is zero.
+func (l *Line) IsZero() bool {
+	for _, b := range l {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Index returns the line index of a line-aligned byte address.
+// It panics if addr is not line-aligned; the simulator never produces
+// unaligned line addresses, so this is an internal-consistency check.
+func Index(addr uint64) uint64 {
+	if addr%Size != 0 {
+		panic(fmt.Sprintf("memline: unaligned line address %#x", addr))
+	}
+	return addr / Size
+}
+
+// Addr returns the byte address of line index idx.
+func Addr(idx uint64) uint64 { return idx * Size }
+
+// Align rounds addr down to its containing line address.
+func Align(addr uint64) uint64 { return addr &^ (Size - 1) }
+
+// Offset returns the offset of addr within its line.
+func Offset(addr uint64) int { return int(addr % Size) }
+
+// SameLine reports whether two byte addresses fall in the same line.
+func SameLine(a, b uint64) bool { return Align(a) == Align(b) }

@@ -1,0 +1,67 @@
+package memline
+
+import "testing"
+
+func TestIndexAddrRoundTrip(t *testing.T) {
+	for _, idx := range []uint64{0, 1, 7, 512, 1 << 30} {
+		if got := Index(Addr(idx)); got != idx {
+			t.Errorf("Index(Addr(%d)) = %d", idx, got)
+		}
+	}
+}
+
+func TestIndexPanicsOnUnaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Index(63) did not panic")
+		}
+	}()
+	Index(63)
+}
+
+func TestAlignOffset(t *testing.T) {
+	cases := []struct {
+		addr, align uint64
+		off         int
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{63, 0, 63},
+		{64, 64, 0},
+		{130, 128, 2},
+	}
+	for _, c := range cases {
+		if got := Align(c.addr); got != c.align {
+			t.Errorf("Align(%d) = %d, want %d", c.addr, got, c.align)
+		}
+		if got := Offset(c.addr); got != c.off {
+			t.Errorf("Offset(%d) = %d, want %d", c.addr, got, c.off)
+		}
+	}
+}
+
+func TestSameLine(t *testing.T) {
+	if !SameLine(0, 63) {
+		t.Error("0 and 63 should share a line")
+	}
+	if SameLine(63, 64) {
+		t.Error("63 and 64 should not share a line")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var l Line
+	if !l.IsZero() {
+		t.Error("zero line reported non-zero")
+	}
+	l[Size-1] = 1
+	if l.IsZero() {
+		t.Error("non-zero line reported zero")
+	}
+}
+
+func TestBitsConstant(t *testing.T) {
+	if Bits != 512 {
+		t.Fatalf("Bits = %d, want 512", Bits)
+	}
+}

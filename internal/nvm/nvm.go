@@ -1,0 +1,222 @@
+// Package nvm models a PCM-based non-volatile main memory at line
+// granularity: a sparse 64-byte-line store with the paper's DDR-PCM
+// timing parameters, per-line wear counters, and read/write energy
+// accounting.
+//
+// Durability semantics are the crux for this simulator: everything
+// written to the device survives a crash, everything not written is
+// lost. The device itself therefore needs no crash handling; the crash
+// is implemented by the machine dropping its volatile state.
+package nvm
+
+import (
+	"fmt"
+	"sort"
+
+	"nvmstar/internal/memline"
+)
+
+// Timing holds the DDR-PCM latency model from Table I of the paper
+// (tRCD/tCL/tCWD/tFAW/tWTR/tWR = 48/15/13/50/7.5/300 ns).
+type Timing struct {
+	TRCDns float64 // row-to-column delay
+	TCLns  float64 // column access (CAS) latency
+	TCWDns float64 // column write delay
+	TFAWns float64 // four-activation window
+	TWTRns float64 // write-to-read turnaround
+	TWRns  float64 // write recovery (the long PCM cell write)
+}
+
+// DefaultTiming returns the paper's PCM latency model.
+func DefaultTiming() Timing {
+	return Timing{TRCDns: 48, TCLns: 15, TCWDns: 13, TFAWns: 50, TWTRns: 7.5, TWRns: 300}
+}
+
+// ReadNs is the service time of one line read: row activation plus
+// column access.
+func (t Timing) ReadNs() float64 { return t.TRCDns + t.TCLns }
+
+// WriteNs is the service time of one line write: column write delay
+// plus the PCM write-recovery time.
+func (t Timing) WriteNs() float64 { return t.TCWDns + t.TWRns }
+
+// Energy holds the per-line-access energy model. PCM writes are far
+// more expensive than reads (the paper: NVM write energy is ~2x DRAM,
+// and reads are much cheaper than writes).
+type Energy struct {
+	ReadPJ  float64 // energy per 64B line read, picojoules
+	WritePJ float64 // energy per 64B line write, picojoules
+}
+
+// DefaultEnergy returns a representative PCM energy model
+// (2 pJ/bit read, 16 pJ/bit write over 512 bits).
+func DefaultEnergy() Energy {
+	return Energy{ReadPJ: 2 * memline.Bits, WritePJ: 16 * memline.Bits}
+}
+
+// Config configures a Device.
+type Config struct {
+	// CapacityBytes is the addressable size. Accesses beyond it panic:
+	// the simulator computing an out-of-range address is a bug, not a
+	// runtime condition.
+	CapacityBytes uint64
+	Timing        Timing
+	Energy        Energy
+	// TrackWear enables per-line write counters (endurance studies).
+	TrackWear bool
+}
+
+// Stats accumulates device-level counters.
+type Stats struct {
+	Reads       uint64  // line reads
+	Writes      uint64  // line writes
+	ReadEnergy  float64 // pJ
+	WriteEnergy float64 // pJ
+}
+
+// TotalEnergyPJ returns the total access energy in picojoules.
+func (s Stats) TotalEnergyPJ() float64 { return s.ReadEnergy + s.WriteEnergy }
+
+// Sub returns s - o, for measuring a phase between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:       s.Reads - o.Reads,
+		Writes:      s.Writes - o.Writes,
+		ReadEnergy:  s.ReadEnergy - o.ReadEnergy,
+		WriteEnergy: s.WriteEnergy - o.WriteEnergy,
+	}
+}
+
+// Device is a line-granularity PCM device. The line store is sparse:
+// never-written lines read as all-zero, which models a zeroed device
+// and lets the simulator address terabyte-scale spaces cheaply.
+type Device struct {
+	cfg   Config
+	lines map[uint64]memline.Line
+	wear  map[uint64]uint64
+	stats Stats
+	hook  AccessHook
+}
+
+// AccessHook observes every counted device access. The machine's
+// timing model attaches one to charge latency and queueing to the
+// issuing core.
+type AccessHook func(write bool, addr uint64)
+
+// SetHook installs the access observer (nil to remove).
+func (d *Device) SetHook(h AccessHook) { d.hook = h }
+
+// New creates a Device. Capacity must be a positive multiple of the
+// line size.
+func New(cfg Config) (*Device, error) {
+	if cfg.CapacityBytes == 0 || cfg.CapacityBytes%memline.Size != 0 {
+		return nil, fmt.Errorf("nvm: capacity %d is not a positive multiple of %d", cfg.CapacityBytes, memline.Size)
+	}
+	d := &Device{cfg: cfg, lines: make(map[uint64]memline.Line)}
+	if cfg.TrackWear {
+		d.wear = make(map[uint64]uint64)
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+func (d *Device) checkAddr(addr uint64) {
+	if addr%memline.Size != 0 {
+		panic(fmt.Sprintf("nvm: unaligned access %#x", addr))
+	}
+	if addr+memline.Size > d.cfg.CapacityBytes {
+		panic(fmt.Sprintf("nvm: access %#x beyond capacity %#x", addr, d.cfg.CapacityBytes))
+	}
+}
+
+// Read returns the line at addr and whether it has ever been written.
+// Unwritten lines are all-zero.
+func (d *Device) Read(addr uint64) (memline.Line, bool) {
+	d.checkAddr(addr)
+	d.stats.Reads++
+	d.stats.ReadEnergy += d.cfg.Energy.ReadPJ
+	if d.hook != nil {
+		d.hook(false, addr)
+	}
+	l, ok := d.lines[addr]
+	return l, ok
+}
+
+// Peek returns the line at addr without counting an access. Recovery
+// verification and tests use it to inspect device state.
+func (d *Device) Peek(addr uint64) (memline.Line, bool) {
+	d.checkAddr(addr)
+	l, ok := d.lines[addr]
+	return l, ok
+}
+
+// Write stores a line at addr.
+func (d *Device) Write(addr uint64, l memline.Line) {
+	d.checkAddr(addr)
+	d.stats.Writes++
+	d.stats.WriteEnergy += d.cfg.Energy.WritePJ
+	if d.hook != nil {
+		d.hook(true, addr)
+	}
+	d.lines[addr] = l
+	if d.wear != nil {
+		d.wear[addr]++
+	}
+}
+
+// Poke stores a line without counting an access. Attack injection and
+// test setup use it to mutate device state out of band.
+func (d *Device) Poke(addr uint64, l memline.Line) {
+	d.checkAddr(addr)
+	d.lines[addr] = l
+}
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the counters (e.g. after a warm-up phase).
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// Wear returns the write count of the line at addr. It is zero unless
+// TrackWear was enabled.
+func (d *Device) Wear(addr uint64) uint64 { return d.wear[addr] }
+
+// MaxWear returns the highest per-line write count and its address.
+func (d *Device) MaxWear() (addr, writes uint64) {
+	for a, w := range d.wear {
+		if w > writes || (w == writes && a < addr) {
+			addr, writes = a, w
+		}
+	}
+	return addr, writes
+}
+
+// WearProfile returns per-line wear sorted by descending write count,
+// capped at limit entries. It supports endurance analyses.
+func (d *Device) WearProfile(limit int) []WearEntry {
+	entries := make([]WearEntry, 0, len(d.wear))
+	for a, w := range d.wear {
+		entries = append(entries, WearEntry{Addr: a, Writes: w})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Writes != entries[j].Writes {
+			return entries[i].Writes > entries[j].Writes
+		}
+		return entries[i].Addr < entries[j].Addr
+	})
+	if limit > 0 && len(entries) > limit {
+		entries = entries[:limit]
+	}
+	return entries
+}
+
+// WearEntry is one line's wear count.
+type WearEntry struct {
+	Addr   uint64
+	Writes uint64
+}
+
+// LinesWritten returns how many distinct lines have ever been written.
+func (d *Device) LinesWritten() int { return len(d.lines) }

@@ -1,0 +1,143 @@
+package nvm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"nvmstar/internal/memline"
+)
+
+// Snapshot format: a simple tagged binary stream. The device is
+// non-volatile — persisting its contents to a host file lets a
+// simulated machine power off with the process and recover in a fresh
+// one (see examples/restart).
+const snapshotMagic = "NVMSTAR1"
+
+// Save serializes the device's line store (and wear counters when
+// tracked) to w.
+func (d *Device) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], d.cfg.CapacityBytes)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(d.lines)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	// Lines in sorted order for deterministic images.
+	for _, e := range d.sortedLines() {
+		var rec [8 + memline.Size]byte
+		binary.LittleEndian.PutUint64(rec[0:8], e.addr)
+		copy(rec[8:], e.line[:])
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	wearCount := uint64(0)
+	if d.wear != nil {
+		wearCount = uint64(len(d.wear))
+	}
+	var wc [8]byte
+	binary.LittleEndian.PutUint64(wc[:], wearCount)
+	if _, err := bw.Write(wc[:]); err != nil {
+		return err
+	}
+	if d.wear != nil {
+		for _, e := range d.sortedWear() {
+			var rec [16]byte
+			binary.LittleEndian.PutUint64(rec[0:8], e.Addr)
+			binary.LittleEndian.PutUint64(rec[8:16], e.Writes)
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+type addrLine struct {
+	addr uint64
+	line memline.Line
+}
+
+func (d *Device) sortedLines() []addrLine {
+	out := make([]addrLine, 0, len(d.lines))
+	for a, l := range d.lines {
+		out = append(out, addrLine{a, l})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+func (d *Device) sortedWear() []WearEntry {
+	out := make([]WearEntry, 0, len(d.wear))
+	for a, w := range d.wear {
+		out = append(out, WearEntry{Addr: a, Writes: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Restore loads a snapshot produced by Save into the device, replacing
+// its contents. The snapshot's capacity must match the device's.
+func (d *Device) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nvm: reading snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return fmt.Errorf("nvm: not a snapshot (magic %q)", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	capacity := binary.LittleEndian.Uint64(hdr[0:8])
+	if capacity != d.cfg.CapacityBytes {
+		return fmt.Errorf("nvm: snapshot capacity %d does not match device %d", capacity, d.cfg.CapacityBytes)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	lines := make(map[uint64]memline.Line, count)
+	for i := uint64(0); i < count; i++ {
+		var rec [8 + memline.Size]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return fmt.Errorf("nvm: truncated snapshot at line %d: %w", i, err)
+		}
+		addr := binary.LittleEndian.Uint64(rec[0:8])
+		if addr%memline.Size != 0 || addr+memline.Size > capacity {
+			return fmt.Errorf("nvm: snapshot contains invalid address %#x", addr)
+		}
+		var l memline.Line
+		copy(l[:], rec[8:])
+		lines[addr] = l
+	}
+	var wc [8]byte
+	if _, err := io.ReadFull(br, wc[:]); err != nil {
+		return err
+	}
+	wearCount := binary.LittleEndian.Uint64(wc[:])
+	var wear map[uint64]uint64
+	if d.cfg.TrackWear {
+		wear = make(map[uint64]uint64, wearCount)
+	}
+	for i := uint64(0); i < wearCount; i++ {
+		var rec [16]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return fmt.Errorf("nvm: truncated wear table: %w", err)
+		}
+		if wear != nil {
+			wear[binary.LittleEndian.Uint64(rec[0:8])] = binary.LittleEndian.Uint64(rec[8:16])
+		}
+	}
+	d.lines = lines
+	if d.cfg.TrackWear {
+		d.wear = wear
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package secmem_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nvmstar/internal/memline"
+	"nvmstar/internal/secmem"
+)
+
+// auditTree wraps Engine.AuditTree as an error for test convenience.
+func auditTree(e *secmem.Engine) error {
+	if violations := e.AuditTree(); len(violations) > 0 {
+		return fmt.Errorf("%d violations, first: %s", len(violations), violations[0])
+	}
+	return nil
+}
+
+// TestTreeInvariantUnderRandomOps drives every scheme with random
+// write workloads across several seeds, auditing the full tree
+// periodically and after completion. This is the regression fence for
+// the history-forking bugs in the write-back path (a node's content
+// escaping the cache and being re-fetched stale).
+func TestTreeInvariantUnderRandomOps(t *testing.T) {
+	for _, scheme := range []string{"wb", "star", "anubis", "strict"} {
+		for seed := uint64(1); seed <= 6; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", scheme, seed), func(t *testing.T) {
+				e := newEngine(t, scheme, 1<<20, 16<<10)
+				r := lcg(seed * 977)
+				lines := e.Geometry().DataBytes() / memline.Size
+				for i := 0; i < 2500; i++ {
+					addr := (r.next() % lines) * memline.Size
+					if err := e.WriteLine(addr, lineFor(addr, uint64(i))); err != nil {
+						t.Fatalf("op %d: %v", i, err)
+					}
+					if i%500 == 499 {
+						if err := auditTree(e); err != nil {
+							t.Fatalf("audit after op %d: %v", i, err)
+						}
+					}
+				}
+				if err := auditTree(e); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestTreeInvariantAcrossCrashRecovery extends the audit across a
+// crash/recover cycle for the recoverable schemes.
+func TestTreeInvariantAcrossCrashRecovery(t *testing.T) {
+	for _, scheme := range []string{"star", "anubis", "strict"} {
+		t.Run(scheme, func(t *testing.T) {
+			e := newEngine(t, scheme, 1<<20, 16<<10)
+			runWorkload(t, e, 3000, 77)
+			e.Crash()
+			if _, err := e.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if err := auditTree(e); err != nil {
+				t.Fatalf("audit after recovery: %v", err)
+			}
+			runWorkload(t, e, 1000, 78)
+			if err := auditTree(e); err != nil {
+				t.Fatalf("audit after post-recovery writes: %v", err)
+			}
+		})
+	}
+}
+
+// TestTinyCacheStress shrinks the metadata cache to force extreme
+// thrashing (constant victim cleaning, deep flush recursion) and
+// checks the invariant still holds.
+func TestTinyCacheStress(t *testing.T) {
+	for _, scheme := range []string{"star", "anubis"} {
+		t.Run(scheme, func(t *testing.T) {
+			e := newEngine(t, scheme, 1<<19, 4<<10) // 64-line cache, 4-level tree
+			r := lcg(123)
+			lines := e.Geometry().DataBytes() / memline.Size
+			for i := 0; i < 4000; i++ {
+				addr := (r.next() % lines) * memline.Size
+				if err := e.WriteLine(addr, lineFor(addr, uint64(i))); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+			if err := auditTree(e); err != nil {
+				t.Fatal(err)
+			}
+			e.Crash()
+			if _, err := e.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if err := auditTree(e); err != nil {
+				t.Fatalf("post-recovery: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package secmem_test
+
+import (
+	"strings"
+	"testing"
+
+	"nvmstar/internal/memline"
+)
+
+func TestWriteBeyondDataRegionErrors(t *testing.T) {
+	e := newEngine(t, "star", 1<<19, 16<<10)
+	err := e.WriteLine(1<<19, memline.Line{})
+	if err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if !strings.Contains(err.Error(), "beyond") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestReadBeyondDataRegionErrors(t *testing.T) {
+	e := newEngine(t, "star", 1<<19, 16<<10)
+	if _, err := e.ReadLine(1 << 20); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestLastValidLineWorks(t *testing.T) {
+	e := newEngine(t, "star", 1<<19, 16<<10)
+	last := uint64(1<<19) - memline.Size
+	if err := e.WriteLine(last, memline.Line{7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ReadLine(last)
+	if err != nil || got[0] != 7 {
+		t.Fatalf("last line round trip: %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package secmem_test
+
+import (
+	"testing"
+
+	"nvmstar/internal/bitmap"
+	"nvmstar/internal/cache"
+	"nvmstar/internal/memline"
+	"nvmstar/internal/schemes/star"
+	"nvmstar/internal/secmem"
+	"nvmstar/internal/simcrypto"
+)
+
+// TestSchemesAreBehaviorEquivalent runs the identical write trace
+// under every scheme and checks the user-visible contents agree line
+// for line: persistence schemes must never change what the memory
+// stores, only how its metadata persists.
+func TestSchemesAreBehaviorEquivalent(t *testing.T) {
+	trace := make(map[uint64]memline.Line)
+	r := lcg(31337)
+	const n = 3000
+	type wr struct {
+		addr uint64
+		line memline.Line
+	}
+	writes := make([]wr, 0, n)
+	for i := 0; i < n; i++ {
+		addr := (r.next() % (1 << 14)) * memline.Size
+		l := lineFor(addr, uint64(i))
+		writes = append(writes, wr{addr, l})
+		trace[addr] = l
+	}
+	for _, scheme := range []string{"wb", "star", "anubis", "strict"} {
+		t.Run(scheme, func(t *testing.T) {
+			e := newEngine(t, scheme, 1<<20, 16<<10)
+			for _, w := range writes {
+				if err := e.WriteLine(w.addr, w.line); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for addr, want := range trace {
+				got, err := e.ReadLine(addr)
+				if err != nil {
+					t.Fatalf("read %#x: %v", addr, err)
+				}
+				if got != want {
+					t.Fatalf("content diverged at %#x", addr)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryIdempotent crashes, recovers, immediately crashes again
+// without any intervening writes: the second recovery must find zero
+// stale nodes and verify.
+func TestRecoveryIdempotent(t *testing.T) {
+	for _, scheme := range []string{"star", "anubis"} {
+		t.Run(scheme, func(t *testing.T) {
+			e := newEngine(t, scheme, 1<<20, 16<<10)
+			runWorkload(t, e, 3000, 55)
+			e.Crash()
+			rep1, err := e.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Crash()
+			rep2, err := e.Recover()
+			if err != nil {
+				t.Fatalf("second recovery: %v", err)
+			}
+			if !rep2.Verified {
+				t.Fatalf("second recovery unverified: %+v", rep2)
+			}
+			if scheme == "star" && rep2.StaleNodes != 0 {
+				t.Fatalf("second STAR recovery found %d stale nodes after %d restored",
+					rep2.StaleNodes, rep1.StaleNodes)
+			}
+		})
+	}
+}
+
+// TestEngineWithRealCrypto exercises the AES/SHA-256 suite through a
+// full write/crash/recover/read cycle — the layout must be suite
+// independent.
+func TestEngineWithRealCrypto(t *testing.T) {
+	e, err := secmem.New(secmem.Config{
+		DataBytes: 1 << 20,
+		MetaCache: cache.Config{SizeBytes: 16 << 10, Ways: 8},
+		Suite:     simcrypto.NewReal([16]byte{9, 9, 9}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := star.New(e, bitmap.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetScheme(s)
+	expect := runWorkload(t, e, 1500, 66)
+	e.Crash()
+	rep, err := e.Recover()
+	if err != nil || !rep.Verified {
+		t.Fatalf("recovery: %v (%+v)", err, rep)
+	}
+	verifyAll(t, e, expect)
+}
+
+// TestTinyGeometry exercises the degenerate tree: eight data lines,
+// a single counter block directly under the root.
+func TestTinyGeometry(t *testing.T) {
+	e := newEngine(t, "star", 8*memline.Size, 4<<10)
+	for i := uint64(0); i < 8; i++ {
+		if err := e.WriteLine(i*memline.Size, lineFor(i*memline.Size, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Crash()
+	rep, err := e.Recover()
+	if err != nil || !rep.Verified {
+		t.Fatalf("recovery: %v (%+v)", err, rep)
+	}
+	for i := uint64(0); i < 8; i++ {
+		got, err := e.ReadLine(i * memline.Size)
+		if err != nil || got != lineFor(i*memline.Size, i) {
+			t.Fatalf("line %d after recovery: %v", i, err)
+		}
+	}
+}
+
+// TestFlushAllThenCrashNeedsNoRestore confirms graceful-shutdown
+// semantics for every recoverable scheme.
+func TestFlushAllThenCrashNeedsNoRestore(t *testing.T) {
+	for _, scheme := range []string{"star", "anubis", "strict"} {
+		t.Run(scheme, func(t *testing.T) {
+			e := newEngine(t, scheme, 1<<20, 16<<10)
+			expect := runWorkload(t, e, 2000, 88)
+			if err := e.FlushAllMetadata(); err != nil {
+				t.Fatal(err)
+			}
+			e.Crash()
+			if _, err := e.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			verifyAll(t, e, expect)
+		})
+	}
+}
+
+// TestInterleavedCrashCycles alternates workload bursts with crash/
+// recovery cycles — the long-haul scenario a real system lives.
+func TestInterleavedCrashCycles(t *testing.T) {
+	e := newEngine(t, "star", 1<<20, 16<<10)
+	expect := make(map[uint64]memline.Line)
+	for cycle := 0; cycle < 5; cycle++ {
+		for addr, l := range runWorkload(t, e, 1200, uint64(100+cycle)) {
+			expect[addr] = l
+		}
+		e.Crash()
+		rep, err := e.Recover()
+		if err != nil || !rep.Verified {
+			t.Fatalf("cycle %d: %v (%+v)", cycle, err, rep)
+		}
+	}
+	verifyAll(t, e, expect)
+}

@@ -1,0 +1,640 @@
+// Package secmem implements the secure-memory engine at the heart of
+// the simulator: counter-mode encryption of user data, SGX integrity
+// tree (SIT) verification with lazy updates, and the security-metadata
+// cache in the memory controller. Persistence-and-recovery policies
+// (WB, strict, Anubis, STAR) plug in through the Scheme interface.
+//
+// # Data path
+//
+// A user-data write arriving at the memory controller bumps the
+// covering counter in the data line's counter block (level 0 of the
+// SIT), encrypts the line with a fresh one-time pad, and writes the
+// ciphertext plus its MAC as a single NVM line (the MAC rides in the
+// 9th chip, as in Synergy). The counter block becomes dirty in the
+// metadata cache. When a dirty metadata block is evicted (or flushed),
+// the corresponding counter in its parent node is bumped and the block
+// is written to NVM — the lazy SIT update scheme: only the parent
+// changes, all other ancestors stay untouched until their own children
+// are written back.
+//
+// # Counter-MAC synergization
+//
+// When the active scheme enables synergization (STAR), the 10 spare
+// bits of every written line's 64-bit MAC field carry the 10 LSBs of
+// the just-bumped parent counter, so the parent's modification
+// persists atomically with the child — with zero extra writes. A
+// forced write-back refreshes the parent's in-NVM MSBs whenever one of
+// its counters advances 2^10 times without the block reaching NVM,
+// keeping LSB-based reconstruction unambiguous.
+package secmem
+
+import (
+	"fmt"
+
+	"nvmstar/internal/cache"
+	"nvmstar/internal/counter"
+	"nvmstar/internal/memline"
+	"nvmstar/internal/nvm"
+	"nvmstar/internal/simcrypto"
+	"nvmstar/internal/sit"
+)
+
+// forcedFlushWindow is how far a counter may advance past its in-NVM
+// copy before the engine forces a write-back of the block (the MSB
+// update rule of counter-MAC synergization).
+const forcedFlushWindow = simcrypto.LSBMask // 1023
+
+// Config configures an Engine.
+type Config struct {
+	// DataBytes is the protected user-data capacity.
+	DataBytes uint64
+	// MetaCache sizes the security-metadata cache in the memory
+	// controller (the paper's default: 512 KB, 8-way).
+	MetaCache cache.Config
+	// Suite supplies OTP and MAC primitives.
+	Suite simcrypto.Suite
+	// Timing and Energy parameterize the NVM device; zero values take
+	// the paper's defaults.
+	Timing nvm.Timing
+	Energy nvm.Energy
+	// TrackWear enables per-line NVM write counters.
+	TrackWear bool
+}
+
+// DefaultMetaCache is the paper's metadata cache configuration.
+func DefaultMetaCache() cache.Config {
+	return cache.Config{SizeBytes: 512 << 10, Ways: 8}
+}
+
+// Stats counts engine-level events. NVM traffic is broken down by the
+// region it targets; scheme-specific traffic (shadow table, bitmap
+// lines) is counted by the schemes themselves and by the device.
+type Stats struct {
+	UserReads  uint64 // user-line reads served
+	UserWrites uint64 // user-line writes persisted
+
+	DataNVMReads  uint64
+	DataNVMWrites uint64
+	MetaNVMReads  uint64
+	MetaNVMWrites uint64
+
+	ForcedFlushes uint64 // MSB-rule write-backs
+	MACComputes   uint64
+}
+
+// Sub returns s - o, for measuring a phase between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		UserReads:     s.UserReads - o.UserReads,
+		UserWrites:    s.UserWrites - o.UserWrites,
+		DataNVMReads:  s.DataNVMReads - o.DataNVMReads,
+		DataNVMWrites: s.DataNVMWrites - o.DataNVMWrites,
+		MetaNVMReads:  s.MetaNVMReads - o.MetaNVMReads,
+		MetaNVMWrites: s.MetaNVMWrites - o.MetaNVMWrites,
+		ForcedFlushes: s.ForcedFlushes - o.ForcedFlushes,
+		MACComputes:   s.MACComputes - o.MACComputes,
+	}
+}
+
+type nodeAux struct {
+	// parentCtr is the parent's counter for this node. It is constant
+	// while the node is cached: the parent bumps it only when this
+	// node is written back (which refreshes this snapshot).
+	parentCtr uint64
+	// base holds the counter values of the node's in-NVM copy, for
+	// the forced-MSB-flush rule.
+	base [counter.Arity]uint64
+}
+
+// Engine is the secure-memory controller. It is not safe for
+// concurrent use: the simulator is single-goroutine so runs are
+// reproducible.
+type Engine struct {
+	cfg     Config
+	geo     *sit.Geometry
+	dev     *nvm.Device
+	suite   simcrypto.Suite
+	meta    *cache.Cache
+	aux     map[uint64]*nodeAux
+	root    counter.Node // on-chip non-volatile root register
+	dataMAC map[uint64]uint64
+	scheme  Scheme
+	stats   Stats
+
+	// pendingForced queues forced MSB write-backs (see bumpSlot); they
+	// run only after the child write that triggered them reaches NVM.
+	pendingForced []sit.NodeID
+}
+
+// New builds an engine. Call SetScheme before issuing any operation.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Suite == nil {
+		return nil, fmt.Errorf("secmem: a crypto suite is required")
+	}
+	if cfg.MetaCache.SizeBytes == 0 {
+		cfg.MetaCache = DefaultMetaCache()
+	}
+	if cfg.Timing == (nvm.Timing{}) {
+		cfg.Timing = nvm.DefaultTiming()
+	}
+	if cfg.Energy == (nvm.Energy{}) {
+		cfg.Energy = nvm.DefaultEnergy()
+	}
+	meta, err := cache.New(cfg.MetaCache)
+	if err != nil {
+		return nil, fmt.Errorf("secmem: metadata cache: %w", err)
+	}
+	geo, err := sit.New(cfg.DataBytes, uint64(meta.Lines()))
+	if err != nil {
+		return nil, err
+	}
+	dev, err := nvm.New(nvm.Config{
+		CapacityBytes: geo.TotalBytes(),
+		Timing:        cfg.Timing,
+		Energy:        cfg.Energy,
+		TrackWear:     cfg.TrackWear,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:     cfg,
+		geo:     geo,
+		dev:     dev,
+		suite:   cfg.Suite,
+		meta:    meta,
+		aux:     make(map[uint64]*nodeAux),
+		dataMAC: make(map[uint64]uint64),
+	}, nil
+}
+
+// SetScheme installs the persistence scheme. It must be called exactly
+// once, before any memory operation.
+func (e *Engine) SetScheme(s Scheme) {
+	if e.scheme != nil {
+		panic("secmem: scheme already set")
+	}
+	e.scheme = s
+}
+
+// Geometry returns the address-space layout.
+func (e *Engine) Geometry() *sit.Geometry { return e.geo }
+
+// Device returns the NVM device.
+func (e *Engine) Device() *nvm.Device { return e.dev }
+
+// Suite returns the crypto suite.
+func (e *Engine) Suite() simcrypto.Suite { return e.suite }
+
+// MetaCache returns the security-metadata cache.
+func (e *Engine) MetaCache() *cache.Cache { return e.meta }
+
+// Scheme returns the installed scheme.
+func (e *Engine) Scheme() Scheme { return e.scheme }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// RootNode returns a copy of the on-chip root register (8 counters
+// covering the topmost stored level).
+func (e *Engine) RootNode() counter.Node { return e.root }
+
+// --- MAC helpers ------------------------------------------------------
+
+// NodeMACField computes the full 64-bit MAC field of a metadata node:
+// a keyed MAC over (address, counters, parent counter), truncated to
+// 54 bits with the parent counter's 10 LSBs packed alongside when
+// synergization is on, or a full 64-bit MAC otherwise.
+func (e *Engine) NodeMACField(id sit.NodeID, ctrs [counter.Arity]uint64, parentCtr uint64) uint64 {
+	e.stats.MACComputes++
+	var in simcrypto.MACInput
+	in.U64(e.geo.NodeAddr(id))
+	for _, c := range ctrs {
+		in.U64(c)
+	}
+	in.U64(parentCtr)
+	mac := in.Sum(e.suite)
+	if e.scheme.Synergize() {
+		return counter.PackMACField(mac, parentCtr&simcrypto.LSBMask)
+	}
+	return mac
+}
+
+// DataMACField computes the MAC field of a user-data line over
+// (address, ciphertext, covering counter), with the counter's 10 LSBs
+// packed alongside under synergization.
+func (e *Engine) DataMACField(addr uint64, cipher memline.Line, ctr uint64) uint64 {
+	e.stats.MACComputes++
+	var in simcrypto.MACInput
+	in.U64(addr).Bytes(cipher[:]).U64(ctr)
+	mac := in.Sum(e.suite)
+	if e.scheme.Synergize() {
+		return counter.PackMACField(mac, ctr&simcrypto.LSBMask)
+	}
+	return mac
+}
+
+// --- NVM wrappers -----------------------------------------------------
+
+func (e *Engine) readMetaNVM(id sit.NodeID) (memline.Line, bool) {
+	e.stats.MetaNVMReads++
+	return e.dev.Read(e.geo.NodeAddr(id))
+}
+
+func (e *Engine) writeMetaNVM(id sit.NodeID, node counter.Node) {
+	e.stats.MetaNVMWrites++
+	e.dev.Write(e.geo.NodeAddr(id), node.Encode())
+}
+
+// ReadMetaRaw reads a metadata node straight from NVM (counting the
+// access); recovery paths use it.
+func (e *Engine) ReadMetaRaw(id sit.NodeID) (counter.Node, bool) {
+	line, ok := e.readMetaNVM(id)
+	return counter.Decode(line), ok
+}
+
+// WriteMetaRestored writes a restored metadata node to NVM (counting
+// the access); recovery paths use it.
+func (e *Engine) WriteMetaRestored(id sit.NodeID, node counter.Node) {
+	e.writeMetaNVM(id, node)
+}
+
+// ReadDataRaw reads a user-data line and its sideband MAC field from
+// NVM (counting one line access, per the Synergy one-line layout).
+func (e *Engine) ReadDataRaw(addr uint64) (memline.Line, uint64, bool) {
+	e.stats.DataNVMReads++
+	line, ok := e.dev.Read(addr)
+	return line, e.dataMAC[addr], ok
+}
+
+func (e *Engine) writeDataNVM(addr uint64, cipher memline.Line, macField uint64) {
+	e.stats.DataNVMWrites++
+	e.dev.Write(addr, cipher)
+	e.dataMAC[addr] = macField
+}
+
+// PokeDataMAC overwrites the sideband MAC of a data line without
+// counting an access. Attack injection uses it together with
+// Device().Poke to replay old (data, MAC) tuples.
+func (e *Engine) PokeDataMAC(addr uint64, field uint64) { e.dataMAC[addr] = field }
+
+// PeekDataMAC returns the sideband MAC of a data line.
+func (e *Engine) PeekDataMAC(addr uint64) (uint64, bool) {
+	f, ok := e.dataMAC[addr]
+	return f, ok
+}
+
+// --- metadata cache management ----------------------------------------
+
+// insertMeta places a freshly fetched metadata line in the cache. A
+// dirty would-be victim is written back first (staying cached, clean),
+// so no line's authoritative content ever exists outside the cache:
+// nested fetches during the write-back always hit the cached copy
+// instead of forking from a stale NVM image.
+//
+// If a nested operation brings the same address in while the victim is
+// being cleaned, that copy is newer (it may already carry counter
+// bumps); insertMeta then leaves it untouched and reports
+// inserted == false.
+func (e *Engine) insertMeta(id sit.NodeID, line memline.Line, aux *nodeAux) (inserted bool, err error) {
+	addr := e.geo.NodeAddr(id)
+	for tries := 0; ; tries++ {
+		victim, needsEvict := e.meta.VictimFor(addr)
+		if !needsEvict || !victim.Dirty {
+			break
+		}
+		if tries > 4*e.meta.Ways() {
+			return false, fmt.Errorf("secmem: cannot clean a victim for %v: set thrashing", id)
+		}
+		vid, ok := e.geo.NodeAt(victim.Addr)
+		if !ok {
+			panic(fmt.Sprintf("secmem: non-metadata line %#x in metadata cache", victim.Addr))
+		}
+		if err := e.FlushNode(vid); err != nil {
+			return false, err
+		}
+	}
+	if e.meta.Contains(addr) {
+		return false, nil
+	}
+	e.aux[addr] = aux
+	e.meta.Insert(addr, line, false, func(vaddr uint64, _ memline.Line, vdirty bool) {
+		if vdirty {
+			panic(fmt.Sprintf("secmem: dirty line %#x evicted without write-back", vaddr))
+		}
+		delete(e.aux, vaddr)
+	})
+	return true, nil
+}
+
+// parentCounterOf returns the parent's counter covering id, fetching
+// (and verifying) the parent chain as needed.
+func (e *Engine) parentCounterOf(id sit.NodeID) (uint64, error) {
+	parent, slot := e.geo.Parent(id)
+	if e.geo.IsRoot(parent) {
+		return e.root.Counters[slot], nil
+	}
+	node, err := e.fetchNode(parent)
+	if err != nil {
+		return 0, err
+	}
+	return node.Counters[slot], nil
+}
+
+// fetchNode ensures a metadata node is resident in the metadata cache,
+// verifying its MAC against the parent chain on the way in, and
+// returns its current content.
+func (e *Engine) fetchNode(id sit.NodeID) (counter.Node, error) {
+	addr := e.geo.NodeAddr(id)
+	for tries := 0; tries < 64; tries++ {
+		if ent, ok := e.meta.Lookup(addr); ok {
+			return counter.Decode(ent.Data), nil
+		}
+		pctr, err := e.parentCounterOf(id)
+		if err != nil {
+			return counter.Node{}, err
+		}
+		// Fetching the parent chain can flush dirty victims whose
+		// write-backs bump — and thereby re-fetch — this very node.
+		// The cached copy is then authoritative (it may already carry
+		// new counter bumps); the stale NVM image must not replace it.
+		if ent, ok := e.meta.Peek(addr); ok {
+			return counter.Decode(ent.Data), nil
+		}
+		line, present := e.readMetaNVM(id)
+		var node counter.Node
+		if present {
+			node = counter.Decode(line)
+			want := e.NodeMACField(id, node.Counters, pctr)
+			if want != node.MACField {
+				return counter.Node{}, &IntegrityError{Addr: addr, Node: id,
+					Detail: fmt.Sprintf("MAC mismatch (stored %#x, computed %#x)", node.MACField, want)}
+			}
+		} else {
+			if pctr != 0 {
+				return counter.Node{}, &IntegrityError{Addr: addr, Node: id,
+					Detail: fmt.Sprintf("node missing from NVM but parent counter is %d", pctr)}
+			}
+			node.MACField = e.NodeMACField(id, node.Counters, 0)
+			line = node.Encode()
+		}
+		if _, err := e.insertMeta(id, line, &nodeAux{parentCtr: pctr, base: node.Counters}); err != nil {
+			return counter.Node{}, err
+		}
+		if ent, ok := e.meta.Peek(addr); ok {
+			return counter.Decode(ent.Data), nil
+		}
+		// The insertion fallout displaced the node again; retry.
+	}
+	return counter.Node{}, fmt.Errorf("secmem: livelock fetching %v: metadata cache too small for the tree height", id)
+}
+
+// bumpSlot increments parent.Counters[slot] — the lazy SIT update
+// performed when the child covered by that slot is persisted — and
+// returns the new counter value. The parent's cached MAC field is
+// refreshed so the cache-tree always hashes up-to-date MACs, and the
+// forced MSB flush fires when synergization requires it.
+func (e *Engine) bumpSlot(parent sit.NodeID, slot int) (uint64, error) {
+	if e.geo.IsRoot(parent) {
+		e.root.Counters[slot] = counter.Increment(e.root.Counters[slot])
+		return e.root.Counters[slot], nil
+	}
+	if _, err := e.fetchNode(parent); err != nil {
+		return 0, err
+	}
+	addr := e.geo.NodeAddr(parent)
+	ent, ok := e.meta.Peek(addr)
+	if !ok {
+		return 0, fmt.Errorf("secmem: parent %v vanished after fetch", parent)
+	}
+	aux := e.aux[addr]
+	node := counter.Decode(ent.Data)
+	node.Counters[slot] = counter.Increment(node.Counters[slot])
+	node.MACField = e.NodeMACField(parent, node.Counters, aux.parentCtr)
+	ent.Data = node.Encode()
+	set := e.meta.SetIndex(addr)
+	if _, transition := e.meta.MarkDirty(addr); transition {
+		e.scheme.OnMetaDirty(parent, e.geo.MetaLineIndex(parent), set)
+	}
+	e.scheme.OnMetaModified(parent, set)
+	newVal := node.Counters[slot]
+	if e.scheme.Synergize() && newVal-aux.base[slot] >= forcedFlushWindow {
+		// Defer the forced MSB write-back until after the triggering
+		// child reaches NVM: flushing here would re-verify tree state
+		// in which the parent counter is already bumped but the child
+		// still carries its old MAC.
+		e.stats.ForcedFlushes++
+		e.pendingForced = append(e.pendingForced, parent)
+	}
+	return newVal, nil
+}
+
+// drainForced performs the forced MSB write-backs queued by bumpSlot.
+// Callers invoke it only after the child write that triggered the bump
+// has reached NVM, so the tree seen by any nested fetch is consistent.
+func (e *Engine) drainForced() error {
+	for len(e.pendingForced) > 0 {
+		id := e.pendingForced[0]
+		e.pendingForced = e.pendingForced[1:]
+		// If the node was evicted in the meantime its write-back
+		// already refreshed the MSBs; FlushNode no-ops then.
+		if err := e.FlushNode(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushNode writes a dirty cached node to NVM: bump the parent
+// counter (the lazy SIT update), stamp the (synergized) MAC, write one
+// NVM line. The node stays cached and clean. It is pinned for the
+// duration so the parent fetch cannot evict it, and every nested
+// access — including a nested bump of one of its own counters while
+// the parent chain is being brought in — operates on the cached,
+// authoritative copy.
+func (e *Engine) FlushNode(id sit.NodeID) error {
+	addr := e.geo.NodeAddr(id)
+	ent, ok := e.meta.Peek(addr)
+	if !ok || !ent.Dirty || ent.Pinned() {
+		// Absent or clean: nothing stale to persist. Pinned: an outer
+		// FlushNode frame on this very node is in progress and its
+		// write will cover this request.
+		return nil
+	}
+	e.meta.Pin(addr)
+	defer e.meta.Unpin(addr)
+
+	parent, slot := e.geo.Parent(id)
+	newPctr, err := e.bumpSlot(parent, slot)
+	if err != nil {
+		return err
+	}
+	// Re-read after the bump: nested operations may have advanced this
+	// node's own counters in the meantime; the write must carry them.
+	ent, ok = e.meta.Peek(addr)
+	if !ok {
+		return fmt.Errorf("secmem: pinned node %v vanished during flush", id)
+	}
+	node := counter.Decode(ent.Data)
+	node.MACField = e.NodeMACField(id, node.Counters, newPctr)
+	ent.Data = node.Encode()
+	e.writeMetaNVM(id, node)
+
+	aux := e.aux[addr]
+	aux.parentCtr = newPctr
+	aux.base = node.Counters
+	e.meta.CleanLine(addr)
+	e.scheme.OnMetaClean(id, e.geo.MetaLineIndex(id), e.meta.SetIndex(addr), false)
+	if err := e.scheme.OnChildPersisted(parent); err != nil {
+		return err
+	}
+	return e.drainForced()
+}
+
+// FlushBranch flushes the dirty nodes on the path from id up to the
+// root. Strict persistence calls it on every user write.
+func (e *Engine) FlushBranch(id sit.NodeID) error {
+	for !e.geo.IsRoot(id) {
+		if err := e.FlushNode(id); err != nil {
+			return err
+		}
+		id, _ = e.geo.Parent(id)
+	}
+	return nil
+}
+
+// FlushAllMetadata write-backs every dirty metadata line (a graceful
+// shutdown). Children flush before parents so each line is written
+// exactly once per pass.
+func (e *Engine) FlushAllMetadata() error {
+	for {
+		var pickID sit.NodeID
+		found := false
+		e.meta.Range(func(ent *cache.Entry) {
+			if !ent.Dirty {
+				return
+			}
+			id, ok := e.geo.NodeAt(ent.Addr)
+			if !ok {
+				return
+			}
+			if !found || id.Level < pickID.Level ||
+				(id.Level == pickID.Level && id.Index < pickID.Index) {
+				pickID, found = id, true
+			}
+		})
+		if !found {
+			return nil
+		}
+		if err := e.FlushNode(pickID); err != nil {
+			return err
+		}
+	}
+}
+
+// --- user data path ----------------------------------------------------
+
+// WriteLine persists one user-data line: bump the covering counter,
+// encrypt with the fresh one-time pad, write ciphertext+MAC as one
+// line. This is the memory-controller side of an LLC write-back or a
+// cache-line flush.
+func (e *Engine) WriteLine(addr uint64, plain memline.Line) error {
+	addr = memline.Align(addr)
+	if addr >= e.geo.DataBytes() {
+		return fmt.Errorf("secmem: write address %#x beyond the %d-byte data region", addr, e.geo.DataBytes())
+	}
+	e.stats.UserWrites++
+	cb, slot := e.geo.CounterBlockOf(addr)
+	ctr, err := e.bumpSlot(cb, slot)
+	if err != nil {
+		return err
+	}
+	cipher := simcrypto.XORLine(plain, e.suite.OTP(addr, ctr))
+	e.writeDataNVM(addr, cipher, e.DataMACField(addr, cipher, ctr))
+	if err := e.scheme.OnChildPersisted(cb); err != nil {
+		return err
+	}
+	return e.drainForced()
+}
+
+// ReadLine fetches, verifies and decrypts one user-data line (the
+// memory-controller side of an LLC miss).
+func (e *Engine) ReadLine(addr uint64) (memline.Line, error) {
+	addr = memline.Align(addr)
+	if addr >= e.geo.DataBytes() {
+		return memline.Line{}, fmt.Errorf("secmem: read address %#x beyond the %d-byte data region", addr, e.geo.DataBytes())
+	}
+	e.stats.UserReads++
+	cb, slot := e.geo.CounterBlockOf(addr)
+	node, err := e.fetchNode(cb)
+	if err != nil {
+		return memline.Line{}, err
+	}
+	ctr := node.Counters[slot]
+	e.stats.DataNVMReads++
+	cipher, present := e.dev.Read(addr)
+	if !present {
+		if ctr != 0 {
+			return memline.Line{}, &IntegrityError{Addr: addr, IsData: true,
+				Detail: fmt.Sprintf("data line missing from NVM but counter is %d", ctr)}
+		}
+		return memline.Line{}, nil // never written: zero-initialized memory
+	}
+	want := e.DataMACField(addr, cipher, ctr)
+	if got := e.dataMAC[addr]; got != want {
+		return memline.Line{}, &IntegrityError{Addr: addr, IsData: true,
+			Detail: fmt.Sprintf("data MAC mismatch (stored %#x, computed %#x)", got, want)}
+	}
+	return simcrypto.XORLine(cipher, e.suite.OTP(addr, ctr)), nil
+}
+
+// --- crash & recovery ---------------------------------------------------
+
+// Crash models a power failure: all volatile controller state (the
+// metadata cache and its bookkeeping) vanishes; battery-backed ADR
+// state is given to the scheme to dump; on-chip non-volatile registers
+// (the SIT root, the scheme's roots/index registers) survive.
+func (e *Engine) Crash() {
+	e.meta.DropAll()
+	e.aux = make(map[uint64]*nodeAux)
+	e.pendingForced = nil
+	e.scheme.OnCrash()
+}
+
+// Recover runs the scheme's recovery procedure.
+func (e *Engine) Recover() (*RecoveryReport, error) {
+	return e.scheme.Recover()
+}
+
+// DirtySetEntries returns the dirty metadata lines of one cache set in
+// ascending address order with their current MAC fields — exactly the
+// input of the cache-tree's set-MAC.
+func (e *Engine) DirtySetEntries(set int) []SetEntry {
+	var out []SetEntry
+	for _, ent := range e.meta.SetEntries(set) {
+		if ent.Dirty {
+			node := counter.Decode(ent.Data)
+			out = append(out, SetEntry{Addr: ent.Addr, MAC: node.MACField})
+		}
+	}
+	return out
+}
+
+// SetEntry mirrors cachetree.SetEntry without importing it (schemes
+// convert); it keeps secmem free of scheme-side dependencies.
+type SetEntry struct {
+	Addr uint64
+	MAC  uint64
+}
+
+// CachedNode returns a cached node's content and cache slot. Anubis
+// keys its shadow-table writes by the slot.
+func (e *Engine) CachedNode(id sit.NodeID) (node counter.Node, set, way int, ok bool) {
+	addr := e.geo.NodeAddr(id)
+	ent, present := e.meta.Peek(addr)
+	if !present {
+		return counter.Node{}, 0, 0, false
+	}
+	set, way, _ = e.meta.SlotOf(addr)
+	return counter.Decode(ent.Data), set, way, true
+}

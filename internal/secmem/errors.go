@@ -1,0 +1,34 @@
+package secmem
+
+import (
+	"errors"
+	"fmt"
+
+	"nvmstar/internal/sit"
+)
+
+// ErrRecoveryUnsupported is returned by schemes that cannot recover
+// (the write-back baseline).
+var ErrRecoveryUnsupported = errors.New("secmem: scheme does not support recovery")
+
+// ErrRecoveryVerification is returned when the post-crash verification
+// (STAR's cache-tree root, Anubis's MAC checks) detects tampering.
+var ErrRecoveryVerification = errors.New("secmem: recovery verification failed")
+
+// IntegrityError reports a failed MAC verification: the line read from
+// NVM does not match the integrity tree.
+type IntegrityError struct {
+	Addr   uint64     // line address that failed
+	Node   sit.NodeID // metadata node involved (zero for data lines)
+	IsData bool
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *IntegrityError) Error() string {
+	what := fmt.Sprintf("metadata node %v", e.Node)
+	if e.IsData {
+		what = "user data line"
+	}
+	return fmt.Sprintf("secmem: integrity violation at %#x (%s): %s", e.Addr, what, e.Detail)
+}

@@ -1,0 +1,117 @@
+package secmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"nvmstar/internal/counter"
+	"nvmstar/internal/memline"
+)
+
+// RegisterPersister is implemented by schemes whose on-chip
+// non-volatile registers (merkle roots, index lines) must survive a
+// process restart alongside the NVM image.
+type RegisterPersister interface {
+	SaveRegisters(w io.Writer) error
+	RestoreRegisters(r io.Reader) error
+}
+
+const engineSnapshotMagic = "NVMSECM1"
+
+// SaveNonVolatile serializes everything that survives a power failure:
+// the NVM image, the sideband data MACs (the 9th chip), the on-chip
+// SIT root register and the scheme's registers. Call Crash first — a
+// real power failure flushes ADR by battery and freezes the registers;
+// Crash models exactly that, and SaveNonVolatile refuses to guess at
+// volatile state.
+//
+// The counterpart process must rebuild an Engine with an identical
+// configuration (including the crypto suite key) before calling
+// RestoreNonVolatile and then Recover.
+func (e *Engine) SaveNonVolatile(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(engineSnapshotMagic); err != nil {
+		return err
+	}
+	if err := e.dev.Save(bw); err != nil {
+		return err
+	}
+	// Sideband MACs, sorted for deterministic images.
+	addrs := make([]uint64, 0, len(e.dataMAC))
+	for a := range e.dataMAC {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(addrs))); err != nil {
+		return err
+	}
+	for _, a := range addrs {
+		if err := binary.Write(bw, binary.LittleEndian, a); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.dataMAC[a]); err != nil {
+			return err
+		}
+	}
+	// On-chip root register.
+	rootLine := e.root.Encode()
+	if _, err := bw.Write(rootLine[:]); err != nil {
+		return err
+	}
+	// Scheme registers, when the scheme has any.
+	if rp, ok := e.scheme.(RegisterPersister); ok {
+		if err := rp.SaveRegisters(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// RestoreNonVolatile loads a snapshot produced by SaveNonVolatile.
+// The engine behaves as if it had just crashed: call Recover next.
+func (e *Engine) RestoreNonVolatile(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(engineSnapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return err
+	}
+	if string(magic) != engineSnapshotMagic {
+		return fmt.Errorf("secmem: not an engine snapshot (magic %q)", magic)
+	}
+	if err := e.dev.Restore(br); err != nil {
+		return err
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	e.dataMAC = make(map[uint64]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		var a, m uint64
+		if err := binary.Read(br, binary.LittleEndian, &a); err != nil {
+			return err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+			return err
+		}
+		e.dataMAC[a] = m
+	}
+	var rootLine memline.Line
+	if _, err := io.ReadFull(br, rootLine[:]); err != nil {
+		return err
+	}
+	e.root = counter.Decode(rootLine)
+	if rp, ok := e.scheme.(RegisterPersister); ok {
+		if err := rp.RestoreRegisters(br); err != nil {
+			return err
+		}
+	}
+	// Volatile state is empty in a fresh process; make that explicit.
+	e.meta.DropAll()
+	e.aux = make(map[uint64]*nodeAux)
+	e.pendingForced = nil
+	return nil
+}

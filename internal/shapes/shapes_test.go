@@ -1,0 +1,44 @@
+package shapes
+
+import (
+	"strings"
+	"testing"
+
+	"nvmstar/internal/experiments"
+	"nvmstar/internal/sim"
+)
+
+// TestPaperShapes is the reproduction gate: it runs a reduced version
+// of the full evaluation and asserts every relationship the paper
+// reports. It is the heaviest test in the repository; -short skips it.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape evaluation is slow")
+	}
+	o := experiments.DefaultOptions()
+	o.Ops = 5000
+	o.Config = func() sim.Config {
+		cfg := sim.Default()
+		cfg.DataBytes = 64 << 20
+		cfg.MetaCache.SizeBytes = 256 << 10
+		return cfg
+	}
+	rep, err := Evaluate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Checks {
+		if !c.Pass {
+			t.Errorf("FAIL %s (%s)", c.Name, c.Detail)
+		} else {
+			t.Logf("pass %s (%s)", c.Name, c.Detail)
+		}
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "Table II") || !strings.Contains(md, "Fig. 14") {
+		t.Error("markdown report incomplete")
+	}
+	if rep.Passed() != !t.Failed() {
+		t.Error("Passed() disagrees with individual checks")
+	}
+}

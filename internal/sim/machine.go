@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"fmt"
+
+	"nvmstar/internal/bitmap"
+	"nvmstar/internal/cache"
+	"nvmstar/internal/memline"
+	"nvmstar/internal/nvm"
+	"nvmstar/internal/schemes/anubis"
+	"nvmstar/internal/schemes/phoenix"
+	"nvmstar/internal/schemes/star"
+	"nvmstar/internal/schemes/strict"
+	"nvmstar/internal/schemes/wb"
+	"nvmstar/internal/secmem"
+	"nvmstar/internal/simcrypto"
+)
+
+// Machine is the simulated system. It is single-goroutine by design —
+// cores interleave deterministically, so every run is reproducible.
+type Machine struct {
+	cfg    Config
+	engine *secmem.Engine
+
+	l1 []*cache.Cache // per core
+	l2 []*cache.Cache // per core
+	l3 *cache.Cache
+	// owner tracks which core's private caches hold a line. The
+	// hierarchy is exclusive: exactly one copy of a line exists in the
+	// whole cache system (some L1, some L2, or L3), which stands in
+	// for a directory coherence protocol.
+	owner map[uint64]int
+
+	coreNow []float64 // per-core clock, ns
+	instr   []uint64  // per-core retired instructions
+	curCore int
+
+	bankFree  []float64 // per-bank busy-until for reads, ns
+	wqDone    []float64 // completion times of outstanding writes (ring)
+	wqIdx     int
+	wqLastOut float64 // completion time of the most recent write
+
+	err error // first engine error (integrity violation = fatal)
+}
+
+// NewMachine builds a machine per cfg.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("sim: need at least one core")
+	}
+	if cfg.Suite == nil {
+		cfg.Suite = simcrypto.NewFast(0x57a7 + cfg.Seed)
+	}
+	if cfg.WriteQueue <= 0 {
+		cfg.WriteQueue = 64
+	}
+	if cfg.FreqGHz == 0 {
+		cfg.FreqGHz = 2
+	}
+	if cfg.Banks <= 0 {
+		cfg.Banks = 8
+	}
+	m := &Machine{
+		cfg:      cfg,
+		owner:    make(map[uint64]int),
+		coreNow:  make([]float64, cfg.Cores),
+		instr:    make([]uint64, cfg.Cores),
+		wqDone:   make([]float64, cfg.WriteQueue),
+		bankFree: make([]float64, cfg.Banks),
+	}
+	var err error
+	m.engine, err = secmem.New(secmem.Config{
+		DataBytes: cfg.DataBytes,
+		MetaCache: cfg.MetaCache,
+		Suite:     cfg.Suite,
+		Timing:    cfg.Timing,
+		Energy:    cfg.Energy,
+		TrackWear: cfg.TrackWear,
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Scheme {
+	case "wb":
+		m.engine.SetScheme(wb.New())
+	case "strict":
+		m.engine.SetScheme(strict.New(m.engine))
+	case "anubis":
+		s, err := anubis.New(m.engine)
+		if err != nil {
+			return nil, err
+		}
+		m.engine.SetScheme(s)
+	case "phoenix":
+		s, err := phoenix.New(m.engine, phoenix.DefaultStride)
+		if err != nil {
+			return nil, err
+		}
+		m.engine.SetScheme(s)
+	case "star":
+		bm := cfg.Bitmap
+		if bm.ADRL1Lines == 0 {
+			bm = bitmap.DefaultConfig()
+		}
+		s, err := star.New(m.engine, bm)
+		if err != nil {
+			return nil, err
+		}
+		m.engine.SetScheme(s)
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %q", cfg.Scheme)
+	}
+
+	for c := 0; c < cfg.Cores; c++ {
+		l1, err := cache.New(cfg.L1)
+		if err != nil {
+			return nil, fmt.Errorf("sim: L1: %w", err)
+		}
+		l2, err := cache.New(cfg.L2)
+		if err != nil {
+			return nil, fmt.Errorf("sim: L2: %w", err)
+		}
+		m.l1 = append(m.l1, l1)
+		m.l2 = append(m.l2, l2)
+	}
+	var err3 error
+	m.l3, err3 = cache.New(cfg.L3)
+	if err3 != nil {
+		return nil, fmt.Errorf("sim: L3: %w", err3)
+	}
+
+	m.engine.Device().SetHook(m.onDeviceAccess)
+	return m, nil
+}
+
+// Engine exposes the secure-memory engine (recovery, stats, attack
+// injection).
+func (m *Machine) Engine() *secmem.Engine { return m.engine }
+
+// SetCore selects the core that issues subsequent Load/Store/Persist
+// calls (heap.Memory has no thread parameter; the single-goroutine
+// runner switches cores between operations).
+func (m *Machine) SetCore(core int) {
+	if core < 0 || core >= m.cfg.Cores {
+		panic(fmt.Sprintf("sim: core %d out of range", core))
+	}
+	m.curCore = core
+}
+
+// CurrentCore returns the core selected by SetCore (trace recorders
+// sample it per access).
+func (m *Machine) CurrentCore() int { return m.curCore }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Err returns the first engine error encountered (an integrity
+// violation surfacing through the cache hierarchy is fatal for a run).
+func (m *Machine) Err() error { return m.err }
+
+// setErr records the first error.
+func (m *Machine) setErr(err error) {
+	if m.err == nil && err != nil {
+		m.err = err
+	}
+}
+
+// --- timing -------------------------------------------------------------
+
+// onDeviceAccess charges the PCM device time of one line access to the
+// issuing core.
+//
+// Reads are synchronous and serialize per bank (line-interleaved
+// banks): the issuing core waits for the data.
+//
+// Writes are posted: with ADR, a write is "persistent" once the
+// write-pending queue accepts it, so the core continues immediately —
+// UNLESS the queue is full, in which case the core stalls until the
+// oldest write drains. The queue drains at the device's aggregate
+// write bandwidth (Banks lines per tWR). This back-pressure is exactly
+// how extra write traffic (Anubis's ST blocks, strict's branch
+// write-throughs) turns into IPC loss in the paper.
+func (m *Machine) onDeviceAccess(write bool, addr uint64) {
+	c := m.curCore
+	t := m.cfg.Timing
+	if t == (nvm.Timing{}) {
+		t = nvm.DefaultTiming()
+	}
+	if !write {
+		bank := int(addr/memline.Size) % len(m.bankFree)
+		start := m.coreNow[c]
+		if m.bankFree[bank] > start {
+			start = m.bankFree[bank]
+		}
+		m.bankFree[bank] = start + t.ReadNs()
+		m.coreNow[c] = m.bankFree[bank]
+		return
+	}
+	// Queue full? Stall until the oldest outstanding write completes.
+	oldest := m.wqDone[m.wqIdx]
+	if oldest > m.coreNow[c] {
+		m.coreNow[c] = oldest
+	}
+	// Service completion: aggregate drain rate of Banks/tWR.
+	interval := t.WriteNs() / float64(len(m.bankFree))
+	done := m.coreNow[c] + interval
+	if m.wqLastOut+interval > done {
+		done = m.wqLastOut + interval
+	}
+	m.wqLastOut = done
+	m.wqDone[m.wqIdx] = done
+	m.wqIdx = (m.wqIdx + 1) % len(m.wqDone)
+}
+
+func (m *Machine) charge(c int, ns float64) { m.coreNow[c] += ns }
+
+// --- cache hierarchy ------------------------------------------------------
+
+// ensureL1 brings a line into core c's L1 and returns its entry. The
+// hierarchy is exclusive, so the line is removed from wherever it was.
+func (m *Machine) ensureL1(c int, addr uint64) *cache.Entry {
+	addr = memline.Align(addr)
+	if e, ok := m.l1[c].Lookup(addr); ok {
+		m.charge(c, m.cfg.L1LatNs)
+		return e
+	}
+	m.charge(c, m.cfg.L1LatNs) // L1 miss still costs the probe
+
+	var data memline.Line
+	var dirty bool
+	switch {
+	case m.takeFrom(m.l2[c], addr, &data, &dirty):
+		m.charge(c, m.cfg.L2LatNs)
+	case m.takeFrom(m.l3, addr, &data, &dirty):
+		m.charge(c, m.cfg.L3LatNs)
+	case m.takeFromOtherCore(c, addr, &data, &dirty):
+		m.charge(c, m.cfg.L3LatNs) // directory + cross-core transfer
+	default:
+		m.charge(c, m.cfg.L2LatNs+m.cfg.L3LatNs+m.cfg.MCLatNs)
+		line, err := m.engine.ReadLine(addr)
+		if err != nil {
+			m.setErr(err)
+		}
+		data, dirty = line, false
+	}
+	m.owner[addr] = c
+	return m.l1[c].Insert(addr, data, dirty, func(va uint64, vd memline.Line, vdirty bool) {
+		m.demoteToL2(c, va, vd, vdirty)
+	})
+}
+
+// takeFrom extracts a line from a cache if present (exclusive move).
+func (m *Machine) takeFrom(from *cache.Cache, addr uint64, data *memline.Line, dirty *bool) bool {
+	e, ok := from.Invalidate(addr)
+	if !ok {
+		return false
+	}
+	*data, *dirty = e.Data, e.Dirty
+	return true
+}
+
+// takeFromOtherCore migrates a line out of another core's private
+// caches (directory lookup).
+func (m *Machine) takeFromOtherCore(c int, addr uint64, data *memline.Line, dirty *bool) bool {
+	o, ok := m.owner[addr]
+	if !ok || o == c {
+		return false
+	}
+	if m.takeFrom(m.l1[o], addr, data, dirty) || m.takeFrom(m.l2[o], addr, data, dirty) {
+		return true
+	}
+	return false
+}
+
+func (m *Machine) demoteToL2(c int, addr uint64, data memline.Line, dirty bool) {
+	m.owner[addr] = c
+	m.l2[c].Insert(addr, data, dirty, func(va uint64, vd memline.Line, vdirty bool) {
+		m.demoteToL3(va, vd, vdirty)
+	})
+}
+
+func (m *Machine) demoteToL3(addr uint64, data memline.Line, dirty bool) {
+	delete(m.owner, addr)
+	m.l3.Insert(addr, data, dirty, func(va uint64, vd memline.Line, vdirty bool) {
+		if vdirty {
+			if err := m.engine.WriteLine(va, vd); err != nil {
+				m.setErr(err)
+			}
+		}
+	})
+}
+
+// locate finds a line anywhere in the hierarchy without moving it.
+func (m *Machine) locate(addr uint64) (*cache.Entry, *cache.Cache) {
+	addr = memline.Align(addr)
+	if o, ok := m.owner[addr]; ok {
+		if e, ok := m.l1[o].Peek(addr); ok {
+			return e, m.l1[o]
+		}
+		if e, ok := m.l2[o].Peek(addr); ok {
+			return e, m.l2[o]
+		}
+	}
+	if e, ok := m.l3.Peek(addr); ok {
+		return e, m.l3
+	}
+	return nil, nil
+}
+
+// --- heap.Memory implementation ------------------------------------------
+
+// Load implements heap.Memory for the current core.
+func (m *Machine) Load(addr uint64, buf []byte) {
+	c := m.curCore
+	m.instr[c] += instrPerMemOp
+	for len(buf) > 0 {
+		e := m.ensureL1(c, addr)
+		off := memline.Offset(addr)
+		n := copy(buf, e.Data[off:])
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+// Store implements heap.Memory for the current core.
+func (m *Machine) Store(addr uint64, data []byte) {
+	c := m.curCore
+	m.instr[c] += instrPerMemOp
+	for len(data) > 0 {
+		e := m.ensureL1(c, addr)
+		off := memline.Offset(addr)
+		n := copy(e.Data[off:], data)
+		if !e.Dirty {
+			m.l1[c].MarkDirty(addr)
+		}
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// Persist implements heap.Memory: CLWB the covering lines — dirty
+// copies are written through to the memory controller and stay cached
+// clean.
+func (m *Machine) Persist(addr uint64, size int) {
+	c := m.curCore
+	if size <= 0 {
+		return
+	}
+	first := memline.Align(addr)
+	last := memline.Align(addr + uint64(size) - 1)
+	for line := first; ; line += memline.Size {
+		m.instr[c] += instrPerPersist
+		if e, holder := m.locate(line); e != nil && e.Dirty {
+			m.charge(c, m.cfg.MCLatNs)
+			if err := m.engine.WriteLine(line, e.Data); err != nil {
+				m.setErr(err)
+			}
+			holder.CleanLine(line)
+		}
+		if line == last {
+			break
+		}
+	}
+}
+
+// Fence implements heap.Memory: with ADR, SFENCE waits only for
+// write-pending-queue acceptance.
+func (m *Machine) Fence() {
+	m.instr[m.curCore] += instrPerFence
+	m.charge(m.curCore, fenceLatNs)
+}
+
+// FlushCPUCaches writes every dirty line in the CPU hierarchy through
+// to the memory controller (used before a graceful shutdown).
+func (m *Machine) FlushCPUCaches() error {
+	flush := func(c *cache.Cache) {
+		c.FlushAll(func(addr uint64, data memline.Line, dirty bool) {
+			if dirty {
+				if err := m.engine.WriteLine(addr, data); err != nil {
+					m.setErr(err)
+				}
+			}
+		})
+	}
+	for i := range m.l1 {
+		flush(m.l1[i])
+		flush(m.l2[i])
+	}
+	flush(m.l3)
+	return m.err
+}
+
+// Crash models a power failure: the CPU caches and the memory
+// controller's volatile state vanish; battery-backed and on-chip
+// state survives (handled by the engine and scheme).
+func (m *Machine) Crash() {
+	for i := range m.l1 {
+		m.l1[i].DropAll()
+		m.l2[i].DropAll()
+	}
+	m.l3.DropAll()
+	m.owner = make(map[uint64]int)
+	m.engine.Crash()
+}
+
+// Recover runs the active scheme's recovery.
+func (m *Machine) Recover() (*secmem.RecoveryReport, error) {
+	return m.engine.Recover()
+}

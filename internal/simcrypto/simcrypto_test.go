@@ -1,0 +1,158 @@
+package simcrypto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nvmstar/internal/memline"
+)
+
+func suites() map[string]Suite {
+	return map[string]Suite{
+		"real": NewReal([16]byte{1, 2, 3, 4}),
+		"fast": NewFast(42),
+	}
+}
+
+func TestOTPDeterministic(t *testing.T) {
+	for name, s := range suites() {
+		a := s.OTP(0x1000, 7)
+		b := s.OTP(0x1000, 7)
+		if a != b {
+			t.Errorf("%s: OTP not deterministic", name)
+		}
+	}
+}
+
+func TestOTPDistinctAcrossInputs(t *testing.T) {
+	for name, s := range suites() {
+		base := s.OTP(0x1000, 7)
+		if base == s.OTP(0x1040, 7) {
+			t.Errorf("%s: OTP reused across addresses", name)
+		}
+		if base == s.OTP(0x1000, 8) {
+			t.Errorf("%s: OTP reused across counters", name)
+		}
+	}
+}
+
+func TestOTPKeyDependence(t *testing.T) {
+	a := NewReal([16]byte{1}).OTP(64, 1)
+	b := NewReal([16]byte{2}).OTP(64, 1)
+	if a == b {
+		t.Error("real: OTP independent of key")
+	}
+	c := NewFast(1).OTP(64, 1)
+	d := NewFast(2).OTP(64, 1)
+	if c == d {
+		t.Error("fast: OTP independent of seed")
+	}
+}
+
+func TestXORLineRoundTrip(t *testing.T) {
+	for name, s := range suites() {
+		var plain memline.Line
+		for i := range plain {
+			plain[i] = byte(i * 3)
+		}
+		pad := s.OTP(0x40, 99)
+		cipher := XORLine(plain, pad)
+		if cipher == plain {
+			t.Errorf("%s: ciphertext equals plaintext", name)
+		}
+		if got := XORLine(cipher, pad); got != plain {
+			t.Errorf("%s: XOR round trip failed", name)
+		}
+	}
+}
+
+func TestMACDeterministicAndSensitive(t *testing.T) {
+	for name, s := range suites() {
+		m1 := s.MAC([]byte("hello"))
+		if m1 != s.MAC([]byte("hello")) {
+			t.Errorf("%s: MAC not deterministic", name)
+		}
+		if m1 == s.MAC([]byte("hellp")) {
+			t.Errorf("%s: MAC insensitive to input change", name)
+		}
+		if m1 == s.MAC([]byte("hello"), []byte("x")) {
+			t.Errorf("%s: MAC insensitive to extra part", name)
+		}
+	}
+}
+
+func TestMACPartBoundariesIrrelevant(t *testing.T) {
+	// MAC must depend on the byte stream, not on how it is split into
+	// parts — recovery recomputes MACs from differently shaped inputs.
+	for name, s := range suites() {
+		a := s.MAC([]byte("abcdefgh"), []byte("ijklmnop"))
+		b := s.MAC([]byte("abcd"), []byte("efghijklmnop"))
+		if a != b {
+			t.Errorf("%s: MAC depends on part boundaries", name)
+		}
+	}
+}
+
+func TestMACInputBuilder(t *testing.T) {
+	for name, s := range suites() {
+		var in1 MACInput
+		in1.U64(5).Bytes([]byte{9, 9}).U64(7)
+		var in2 MACInput
+		in2.U64(5).Bytes([]byte{9, 9}).U64(7)
+		if in1.Sum(s) != in2.Sum(s) {
+			t.Errorf("%s: builder not deterministic", name)
+		}
+		var in3 MACInput
+		in3.U64(5).Bytes([]byte{9, 8}).U64(7)
+		if in1.Sum(s) == in3.Sum(s) {
+			t.Errorf("%s: builder insensitive to content", name)
+		}
+	}
+}
+
+func TestMaskConstants(t *testing.T) {
+	if MAC54Mask != (uint64(1)<<54)-1 {
+		t.Error("MAC54Mask wrong")
+	}
+	if LSBMask != 1023 {
+		t.Error("LSBMask wrong")
+	}
+	if MAC54Mask&(LSBMask<<54) != 0 {
+		t.Error("MAC54 and LSB fields overlap")
+	}
+	if MAC54Mask|(LSBMask<<54) != ^uint64(0) {
+		t.Error("MAC54 and LSB fields do not cover 64 bits")
+	}
+}
+
+func TestFastMACQuickProperties(t *testing.T) {
+	s := NewFast(7)
+	// Property: any single-byte perturbation changes the MAC.
+	f := func(data []byte, pos uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		i := int(pos) % len(data)
+		orig := s.MAC(data)
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x5a
+		return s.MAC(mutated) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOTPQuickDecryptInverse(t *testing.T) {
+	s := NewFast(11)
+	f := func(addr, ctr uint64, data [8]byte) bool {
+		addr = memline.Align(addr)
+		var plain memline.Line
+		copy(plain[:], data[:])
+		pad := s.OTP(addr, ctr)
+		return XORLine(XORLine(plain, pad), pad) == plain
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package sit defines the geometry of the SGX integrity tree (SIT) and
+// the NVM address-space layout of the whole secure-memory system:
+// user data, counter blocks, SIT levels, the recovery area (RA) that
+// backs STAR's bitmap lines, and the shadow-table (ST) region that
+// backs the Anubis baseline.
+//
+// The tree is 8-ary. Level 0 holds the counter blocks (one per 8
+// user-data lines); level k holds one node per 8 level-(k-1) nodes; the
+// topmost stored level has at most 8 nodes, whose counters live in the
+// on-chip root register. For the paper's 16 GB memory this yields 9
+// stored levels and ~2 GB of metadata, matching Table I.
+package sit
+
+import (
+	"fmt"
+
+	"nvmstar/internal/counter"
+	"nvmstar/internal/memline"
+)
+
+// Region identifies which part of the address space an address is in.
+type Region int
+
+// Address-space regions in layout order.
+const (
+	RegionData Region = iota
+	RegionMeta
+	RegionRA
+	RegionST
+	RegionNone // beyond the layout
+)
+
+// String returns the region name.
+func (r Region) String() string {
+	switch r {
+	case RegionData:
+		return "data"
+	case RegionMeta:
+		return "meta"
+	case RegionRA:
+		return "ra"
+	case RegionST:
+		return "st"
+	default:
+		return "none"
+	}
+}
+
+// NodeID names a metadata node by tree level and index within the
+// level. Level 0 is the counter blocks. Level == Geometry.Levels()
+// denotes the on-chip root (which is not stored in NVM).
+type NodeID struct {
+	Level int
+	Index uint64
+}
+
+// String renders the node id for diagnostics.
+func (n NodeID) String() string { return fmt.Sprintf("L%d[%d]", n.Level, n.Index) }
+
+// Geometry is the computed shape of one secure-memory instance.
+type Geometry struct {
+	dataBytes  uint64
+	dataLines  uint64
+	levelSize  []uint64 // nodes per stored level, level 0 first
+	levelBase  []uint64 // byte address of each level's first node
+	metaBase   uint64   // byte address of metadata region (== dataBytes)
+	metaLines  uint64   // total metadata lines across all stored levels
+	raBase     uint64   // byte address of recovery area
+	raL1Lines  uint64   // L1 bitmap lines (one bit per metadata line)
+	raL2Lines  uint64   // L2 bitmap lines (one bit per L1 line)
+	stBase     uint64   // byte address of Anubis shadow-table region
+	stLines    uint64   // shadow-table lines
+	totalBytes uint64
+}
+
+// New computes the geometry for a memory with dataBytes of protected
+// user data and a shadow-table region of stLines lines (one per
+// metadata-cache slot; pass 0 when Anubis is not used — a minimal
+// region is still reserved so layouts stay comparable).
+func New(dataBytes uint64, stLines uint64) (*Geometry, error) {
+	if dataBytes == 0 || dataBytes%memline.Size != 0 {
+		return nil, fmt.Errorf("sit: data size %d is not a positive multiple of %d", dataBytes, memline.Size)
+	}
+	g := &Geometry{dataBytes: dataBytes, dataLines: dataBytes / memline.Size}
+
+	// Stored levels: counter blocks first, then SIT levels, stopping
+	// once a level fits under the on-chip root (<= 8 nodes).
+	size := ceilDiv(g.dataLines, counter.Arity)
+	for {
+		g.levelSize = append(g.levelSize, size)
+		if size <= counter.Arity {
+			break
+		}
+		size = ceilDiv(size, counter.Arity)
+	}
+
+	base := g.dataBytes
+	g.metaBase = base
+	for _, s := range g.levelSize {
+		g.levelBase = append(g.levelBase, base)
+		base += s * memline.Size
+		g.metaLines += s
+	}
+
+	g.raBase = base
+	g.raL1Lines = ceilDiv(g.metaLines, memline.Bits)
+	g.raL2Lines = ceilDiv(g.raL1Lines, memline.Bits)
+	base += (g.raL1Lines + g.raL2Lines) * memline.Size
+
+	g.stBase = base
+	g.stLines = stLines
+	if g.stLines == 0 {
+		g.stLines = 1
+	}
+	base += g.stLines * memline.Size
+
+	g.totalBytes = base
+	if g.raL2Lines > memline.Bits {
+		return nil, fmt.Errorf("sit: metadata space needs more than a 3-layer index (%d L2 lines)", g.raL2Lines)
+	}
+	return g, nil
+}
+
+func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }
+
+// DataBytes returns the protected user-data capacity.
+func (g *Geometry) DataBytes() uint64 { return g.dataBytes }
+
+// DataLines returns the number of user-data lines.
+func (g *Geometry) DataLines() uint64 { return g.dataLines }
+
+// Levels returns the number of stored tree levels (counter blocks are
+// level 0). The on-chip root is level Levels().
+func (g *Geometry) Levels() int { return len(g.levelSize) }
+
+// LevelSize returns the node count of a stored level.
+func (g *Geometry) LevelSize(level int) uint64 { return g.levelSize[level] }
+
+// MetaBase returns the first byte address of the metadata region.
+func (g *Geometry) MetaBase() uint64 { return g.metaBase }
+
+// MetaLines returns the total number of metadata lines.
+func (g *Geometry) MetaLines() uint64 { return g.metaLines }
+
+// RABase returns the first byte address of the recovery area.
+func (g *Geometry) RABase() uint64 { return g.raBase }
+
+// RAL1Lines returns the number of L1 bitmap lines in the RA.
+func (g *Geometry) RAL1Lines() uint64 { return g.raL1Lines }
+
+// RAL2Lines returns the number of L2 bitmap lines in the RA.
+func (g *Geometry) RAL2Lines() uint64 { return g.raL2Lines }
+
+// RAL1Addr returns the NVM address of L1 bitmap line i.
+func (g *Geometry) RAL1Addr(i uint64) uint64 { return g.raBase + i*memline.Size }
+
+// RAL2Addr returns the NVM address of L2 bitmap line i.
+func (g *Geometry) RAL2Addr(i uint64) uint64 {
+	return g.raBase + (g.raL1Lines+i)*memline.Size
+}
+
+// STBase returns the first byte address of the shadow-table region.
+func (g *Geometry) STBase() uint64 { return g.stBase }
+
+// STLines returns the capacity of the shadow-table region in lines.
+func (g *Geometry) STLines() uint64 { return g.stLines }
+
+// STAddr returns the NVM address of shadow-table slot i.
+func (g *Geometry) STAddr(i uint64) uint64 { return g.stBase + i*memline.Size }
+
+// TotalBytes returns the full device size the layout requires.
+func (g *Geometry) TotalBytes() uint64 { return g.totalBytes }
+
+// Root returns the NodeID of the on-chip root.
+func (g *Geometry) Root() NodeID { return NodeID{Level: g.Levels(), Index: 0} }
+
+// IsRoot reports whether id denotes the on-chip root.
+func (g *Geometry) IsRoot(id NodeID) bool { return id.Level == g.Levels() }
+
+// NodeAddr returns the NVM byte address of a stored node.
+func (g *Geometry) NodeAddr(id NodeID) uint64 {
+	if id.Level < 0 || id.Level >= g.Levels() {
+		panic(fmt.Sprintf("sit: NodeAddr of non-stored node %v", id))
+	}
+	if id.Index >= g.levelSize[id.Level] {
+		panic(fmt.Sprintf("sit: node index out of range: %v (level size %d)", id, g.levelSize[id.Level]))
+	}
+	return g.levelBase[id.Level] + id.Index*memline.Size
+}
+
+// NodeAt maps a metadata-region address back to its NodeID.
+func (g *Geometry) NodeAt(addr uint64) (NodeID, bool) {
+	if addr < g.metaBase || addr >= g.raBase {
+		return NodeID{}, false
+	}
+	for level := len(g.levelBase) - 1; level >= 0; level-- {
+		if addr >= g.levelBase[level] {
+			return NodeID{Level: level, Index: (addr - g.levelBase[level]) / memline.Size}, true
+		}
+	}
+	return NodeID{}, false
+}
+
+// Parent returns the parent node of id and the child slot id occupies
+// in it. The parent of a top-level node is the on-chip root.
+func (g *Geometry) Parent(id NodeID) (parent NodeID, slot int) {
+	if g.IsRoot(id) {
+		panic("sit: Parent of root")
+	}
+	return NodeID{Level: id.Level + 1, Index: id.Index / counter.Arity}, int(id.Index % counter.Arity)
+}
+
+// CounterBlockOf returns the counter block protecting a user-data line
+// and the slot (which of the 8 counters) that covers it.
+func (g *Geometry) CounterBlockOf(dataAddr uint64) (NodeID, int) {
+	if dataAddr >= g.dataBytes {
+		panic(fmt.Sprintf("sit: data address %#x out of range", dataAddr))
+	}
+	lineIdx := memline.Index(memline.Align(dataAddr))
+	return NodeID{Level: 0, Index: lineIdx / counter.Arity}, int(lineIdx % counter.Arity)
+}
+
+// ChildDataAddr returns the user-data line address covered by slot of
+// counter block cb.
+func (g *Geometry) ChildDataAddr(cb NodeID, slot int) (uint64, bool) {
+	if cb.Level != 0 {
+		panic("sit: ChildDataAddr on non-leaf node")
+	}
+	idx := cb.Index*counter.Arity + uint64(slot)
+	if idx >= g.dataLines {
+		return 0, false
+	}
+	return memline.Addr(idx), true
+}
+
+// ChildNode returns the level-(L-1) child of a non-leaf node at slot.
+// ok is false when the slot is beyond the lower level's size (the tree
+// is not a perfect power of 8).
+func (g *Geometry) ChildNode(id NodeID, slot int) (NodeID, bool) {
+	if id.Level == 0 {
+		panic("sit: ChildNode of a counter block (its children are data lines)")
+	}
+	child := NodeID{Level: id.Level - 1, Index: id.Index*counter.Arity + uint64(slot)}
+	if child.Index >= g.levelSize[child.Level] {
+		return NodeID{}, false
+	}
+	return child, true
+}
+
+// MetaLineIndex returns the index of a metadata node in the contiguous
+// metadata-line numbering the bitmap lines use (level 0 first).
+func (g *Geometry) MetaLineIndex(id NodeID) uint64 {
+	return (g.NodeAddr(id) - g.metaBase) / memline.Size
+}
+
+// NodeAtMetaLine is the inverse of MetaLineIndex.
+func (g *Geometry) NodeAtMetaLine(idx uint64) (NodeID, bool) {
+	return g.NodeAt(g.metaBase + idx*memline.Size)
+}
+
+// RegionOf classifies an address.
+func (g *Geometry) RegionOf(addr uint64) Region {
+	switch {
+	case addr < g.dataBytes:
+		return RegionData
+	case addr < g.raBase:
+		return RegionMeta
+	case addr < g.stBase:
+		return RegionRA
+	case addr < g.totalBytes:
+		return RegionST
+	default:
+		return RegionNone
+	}
+}

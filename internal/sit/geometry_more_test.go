@@ -1,0 +1,123 @@
+package sit
+
+import "testing"
+
+func TestRegionString(t *testing.T) {
+	cases := map[Region]string{
+		RegionData: "data",
+		RegionMeta: "meta",
+		RegionRA:   "ra",
+		RegionST:   "st",
+		RegionNone: "none",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Region(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	id := NodeID{Level: 2, Index: 17}
+	if got := id.String(); got != "L2[17]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRootAccessors(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	root := g.Root()
+	if !g.IsRoot(root) {
+		t.Fatal("Root() not IsRoot")
+	}
+	if g.IsRoot(NodeID{Level: 0, Index: 0}) {
+		t.Fatal("leaf reported as root")
+	}
+}
+
+func TestRAAddrs(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	if g.RAL1Addr(0) != g.RABase() {
+		t.Fatal("first L1 bitmap line not at RA base")
+	}
+	if g.RAL2Addr(0) != g.RABase()+g.RAL1Lines()*64 {
+		t.Fatal("L2 bitmap lines not after L1 lines")
+	}
+	if g.RegionOf(g.RAL1Addr(0)) != RegionRA || g.RegionOf(g.RAL2Addr(0)) != RegionRA {
+		t.Fatal("bitmap lines not in RA region")
+	}
+}
+
+func TestSTAddrs(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	if g.STAddr(0) != g.STBase() {
+		t.Fatal("first ST slot not at ST base")
+	}
+	if g.STLines() != 16 {
+		t.Fatalf("STLines = %d", g.STLines())
+	}
+	if g.RegionOf(g.STAddr(15)) != RegionST {
+		t.Fatal("ST slot not in ST region")
+	}
+}
+
+func TestZeroSTLinesReservesMinimum(t *testing.T) {
+	g := mustGeo(t, 1<<16, 0)
+	if g.STLines() != 1 {
+		t.Fatalf("STLines = %d, want minimum 1", g.STLines())
+	}
+}
+
+func TestNodeAddrPanics(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	assertPanics(t, "root NodeAddr", func() { g.NodeAddr(g.Root()) })
+	assertPanics(t, "out-of-range index", func() {
+		g.NodeAddr(NodeID{Level: 0, Index: g.LevelSize(0)})
+	})
+	assertPanics(t, "Parent of root", func() { g.Parent(g.Root()) })
+	assertPanics(t, "data address out of range", func() { g.CounterBlockOf(g.DataBytes()) })
+	assertPanics(t, "ChildDataAddr on non-leaf", func() {
+		g.ChildDataAddr(NodeID{Level: 1, Index: 0}, 0)
+	})
+	assertPanics(t, "ChildNode on leaf", func() {
+		g.ChildNode(NodeID{Level: 0, Index: 0}, 0)
+	})
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestNodeAtOutsideMetadata(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	if _, ok := g.NodeAt(0); ok {
+		t.Fatal("data address mapped to a node")
+	}
+	if _, ok := g.NodeAt(g.RABase()); ok {
+		t.Fatal("RA address mapped to a node")
+	}
+	if _, ok := g.NodeAtMetaLine(g.MetaLines()); ok {
+		t.Fatal("out-of-range meta line mapped to a node")
+	}
+}
+
+func TestChildNodePartialTree(t *testing.T) {
+	// 9 counter blocks -> level 1 has 2 nodes; node 1 has only 1 child.
+	g := mustGeo(t, 9*8*64, 1)
+	if g.LevelSize(0) != 9 {
+		t.Fatalf("level 0 size = %d", g.LevelSize(0))
+	}
+	parent := NodeID{Level: 1, Index: 1}
+	if _, ok := g.ChildNode(parent, 0); !ok {
+		t.Fatal("existing child reported missing")
+	}
+	if _, ok := g.ChildNode(parent, 1); ok {
+		t.Fatal("nonexistent child reported present")
+	}
+}

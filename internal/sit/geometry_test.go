@@ -1,0 +1,216 @@
+package sit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nvmstar/internal/memline"
+)
+
+func mustGeo(t *testing.T, dataBytes, stLines uint64) *Geometry {
+	t.Helper()
+	g, err := New(dataBytes, stLines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPaperGeometry(t *testing.T) {
+	// 16 GB memory: 2^28 data lines, 2^25 counter blocks, 9 stored
+	// levels (Table I: "SIT 9 levels"), ~2 GB of metadata.
+	g := mustGeo(t, 16<<30, 8192)
+	if g.DataLines() != 1<<28 {
+		t.Fatalf("data lines = %d", g.DataLines())
+	}
+	if g.LevelSize(0) != 1<<25 {
+		t.Fatalf("counter blocks = %d", g.LevelSize(0))
+	}
+	if g.Levels() != 9 {
+		t.Fatalf("levels = %d, want 9", g.Levels())
+	}
+	metaBytes := g.MetaLines() * memline.Size
+	if metaBytes < 2<<30 || metaBytes > 5<<29 {
+		t.Fatalf("metadata = %d bytes, want ~2 GB", metaBytes)
+	}
+	// RA is 1/512 of metadata space plus the L2 lines.
+	if g.RAL1Lines() != (g.MetaLines()+511)/512 {
+		t.Fatalf("RA L1 lines = %d", g.RAL1Lines())
+	}
+	// A 3-layer index suffices (the on-chip register covers L2).
+	if g.RAL2Lines() > memline.Bits {
+		t.Fatalf("L2 lines = %d exceed one on-chip register line", g.RAL2Lines())
+	}
+}
+
+func TestLevelSizesShrinkByArity(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	for l := 1; l < g.Levels(); l++ {
+		want := (g.LevelSize(l-1) + 7) / 8
+		if g.LevelSize(l) != want {
+			t.Fatalf("level %d size = %d, want %d", l, g.LevelSize(l), want)
+		}
+	}
+	top := g.LevelSize(g.Levels() - 1)
+	if top > 8 {
+		t.Fatalf("top stored level has %d nodes, root covers at most 8", top)
+	}
+}
+
+func TestNodeAddrRoundTrip(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	for level := 0; level < g.Levels(); level++ {
+		for _, idx := range []uint64{0, g.LevelSize(level) - 1, g.LevelSize(level) / 2} {
+			id := NodeID{Level: level, Index: idx}
+			got, ok := g.NodeAt(g.NodeAddr(id))
+			if !ok || got != id {
+				t.Fatalf("round trip %v -> %v (ok=%v)", id, got, ok)
+			}
+		}
+	}
+}
+
+func TestParentChildConsistency(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	for level := 1; level < g.Levels(); level++ {
+		for idx := uint64(0); idx < g.LevelSize(level) && idx < 64; idx++ {
+			id := NodeID{Level: level, Index: idx}
+			for slot := 0; slot < 8; slot++ {
+				child, ok := g.ChildNode(id, slot)
+				if !ok {
+					continue
+				}
+				parent, gotSlot := g.Parent(child)
+				if parent != id || gotSlot != slot {
+					t.Fatalf("Parent(ChildNode(%v, %d)) = (%v, %d)", id, slot, parent, gotSlot)
+				}
+			}
+		}
+	}
+}
+
+func TestCounterBlockOfDataRoundTrip(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	for _, addr := range []uint64{0, 64, 8 * 64, 1<<20 - 64} {
+		cb, slot := g.CounterBlockOf(addr)
+		if cb.Level != 0 {
+			t.Fatalf("counter block at level %d", cb.Level)
+		}
+		back, ok := g.ChildDataAddr(cb, slot)
+		if !ok || back != addr {
+			t.Fatalf("ChildDataAddr(CounterBlockOf(%#x)) = %#x", addr, back)
+		}
+	}
+}
+
+func TestTopLevelParentIsRoot(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	top := NodeID{Level: g.Levels() - 1, Index: 0}
+	parent, slot := g.Parent(top)
+	if !g.IsRoot(parent) || slot != 0 {
+		t.Fatalf("parent of top node = %v slot %d", parent, slot)
+	}
+}
+
+func TestMetaLineIndexRoundTrip(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	seen := make(map[uint64]NodeID)
+	for level := 0; level < g.Levels(); level++ {
+		for idx := uint64(0); idx < g.LevelSize(level); idx++ {
+			id := NodeID{Level: level, Index: idx}
+			mi := g.MetaLineIndex(id)
+			if mi >= g.MetaLines() {
+				t.Fatalf("meta index %d out of range", mi)
+			}
+			if prev, dup := seen[mi]; dup {
+				t.Fatalf("meta index %d shared by %v and %v", mi, prev, id)
+			}
+			seen[mi] = id
+			back, ok := g.NodeAtMetaLine(mi)
+			if !ok || back != id {
+				t.Fatalf("NodeAtMetaLine(%d) = %v (ok=%v), want %v", mi, back, ok, id)
+			}
+		}
+	}
+	if uint64(len(seen)) != g.MetaLines() {
+		t.Fatalf("enumerated %d meta lines, geometry says %d", len(seen), g.MetaLines())
+	}
+}
+
+func TestRegions(t *testing.T) {
+	g := mustGeo(t, 1<<20, 16)
+	cases := []struct {
+		addr uint64
+		want Region
+	}{
+		{0, RegionData},
+		{g.DataBytes() - 64, RegionData},
+		{g.MetaBase(), RegionMeta},
+		{g.RABase(), RegionRA},
+		{g.STBase(), RegionST},
+		{g.TotalBytes(), RegionNone},
+	}
+	for _, c := range cases {
+		if got := g.RegionOf(c.addr); got != c.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRegionsAreContiguousAndDisjoint(t *testing.T) {
+	g := mustGeo(t, 1<<16, 8)
+	prev := g.RegionOf(0)
+	transitions := 0
+	for addr := uint64(0); addr < g.TotalBytes(); addr += memline.Size {
+		r := g.RegionOf(addr)
+		if r != prev {
+			transitions++
+			prev = r
+		}
+	}
+	if transitions != 3 { // data -> meta -> ra -> st
+		t.Fatalf("region transitions = %d, want 3", transitions)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("zero data size accepted")
+	}
+	if _, err := New(100, 1); err == nil {
+		t.Error("unaligned data size accepted")
+	}
+}
+
+func TestTinyGeometries(t *testing.T) {
+	// Edge: a single counter block (<= 8 data lines).
+	g := mustGeo(t, 8*64, 1)
+	if g.Levels() != 1 {
+		t.Fatalf("levels = %d", g.Levels())
+	}
+	cb := NodeID{Level: 0, Index: 0}
+	parent, slot := g.Parent(cb)
+	if !g.IsRoot(parent) || slot != 0 {
+		t.Fatalf("tiny tree parent = %v slot %d", parent, slot)
+	}
+}
+
+func TestGeometryQuickInvariants(t *testing.T) {
+	f := func(linesExp uint8, stLines uint16) bool {
+		lines := uint64(linesExp%16) + 1
+		g, err := New(lines*64*64, uint64(stLines%100)+1)
+		if err != nil {
+			return false
+		}
+		// Every level except possibly the top must have > 8 nodes'
+		// worth of children below it; the top stored level <= 8.
+		if g.LevelSize(g.Levels()-1) > 8 {
+			return false
+		}
+		// Total must contain all regions.
+		return g.TotalBytes() >= g.STBase()+g.STLines()*64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func chart() *BarChart {
+	ref := 1.0
+	return &BarChart{
+		Title:  "Test <chart> & things",
+		YLabel: "ratio",
+		Series: []string{"star", "anubis"},
+		Groups: []BarGroup{
+			{Label: "array", Values: []float64{1.18, 2.0}},
+			{Label: "hash", Values: []float64{1.33, 2.0}},
+		},
+		RefLine: &ref,
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// 2 groups x 2 series bars + background rect + legend swatches.
+	if got := strings.Count(svg, "<rect"); got < 7 {
+		t.Fatalf("rect count = %d", got)
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Fatal("reference line missing")
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	svg, err := chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<chart>") {
+		t.Fatal("unescaped angle brackets in output")
+	}
+	if !strings.Contains(svg, "&lt;chart&gt; &amp; things") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGValidation(t *testing.T) {
+	c := &BarChart{Title: "x", Series: []string{"a"}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("empty groups accepted")
+	}
+	c = &BarChart{Title: "x", Series: []string{"a"},
+		Groups: []BarGroup{{Label: "g", Values: []float64{1, 2}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("series/values mismatch accepted")
+	}
+}
+
+func TestSVGClipsAndAnnotates(t *testing.T) {
+	c := chart()
+	c.YMax = 1.5 // anubis bars exceed this
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, ">2.00<") {
+		t.Fatal("clipped bar not annotated with its value")
+	}
+}
+
+func TestAutoScale(t *testing.T) {
+	c := chart()
+	c.YMax = 0
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+	// All-zero data must not divide by zero.
+	c.Groups = []BarGroup{{Label: "z", Values: []float64{0, 0}}}
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}

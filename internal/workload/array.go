@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+
+	"nvmstar/internal/memline"
+)
+
+// arrayWL is the classic persistent array-swap micro-benchmark: each
+// operation reads two random 64-byte entries, swaps them, and persists
+// both — two data-line writes per operation with low spatial locality,
+// which is why the paper observes array among the harder workloads for
+// bitmap-line tracking.
+type arrayWL struct {
+	entries int
+	base    []uint64 // per-thread array base
+	sum     []uint64 // per-thread invariant: sum of entry tags
+}
+
+func newArray(entries int) *arrayWL { return &arrayWL{entries: entries} }
+
+// Name implements Workload.
+func (*arrayWL) Name() string { return "array" }
+
+// Setup implements Workload: allocate and initialize each thread's
+// array; entry i starts with tag i.
+func (a *arrayWL) Setup(ctx *Ctx) error {
+	a.base = make([]uint64, ctx.Threads)
+	a.sum = make([]uint64, ctx.Threads)
+	for t := 0; t < ctx.Threads; t++ {
+		addr, err := ctx.Heap.Alloc(a.entries * memline.Size)
+		if err != nil {
+			return err
+		}
+		a.base[t] = addr
+		for i := 0; i < a.entries; i++ {
+			ctx.Heap.WriteU64(addr+uint64(i)*memline.Size, uint64(i))
+			a.sum[t] += uint64(i)
+		}
+		ctx.Heap.Persist(addr, a.entries*memline.Size)
+		ctx.Heap.Fence()
+	}
+	return nil
+}
+
+// Step implements Workload: swap two random entries and persist both.
+func (a *arrayWL) Step(ctx *Ctx, t int) error {
+	i := ctx.Rand(t) % uint64(a.entries)
+	j := ctx.Rand(t) % uint64(a.entries)
+	ai := a.base[t] + i*memline.Size
+	aj := a.base[t] + j*memline.Size
+	vi := ctx.Heap.ReadU64(ai)
+	vj := ctx.Heap.ReadU64(aj)
+	ctx.Heap.WriteU64(ai, vj)
+	ctx.Heap.Persist(ai, 8)
+	ctx.Heap.WriteU64(aj, vi)
+	ctx.Heap.Persist(aj, 8)
+	ctx.Heap.Fence()
+	return nil
+}
+
+// Verify implements Workload: swaps preserve the multiset of tags, so
+// each thread's tag sum is invariant.
+func (a *arrayWL) Verify(ctx *Ctx) error {
+	for t := 0; t < ctx.Threads; t++ {
+		var sum uint64
+		for i := 0; i < a.entries; i++ {
+			sum += ctx.Heap.ReadU64(a.base[t] + uint64(i)*memline.Size)
+		}
+		if sum != a.sum[t] {
+			return fmt.Errorf("array: thread %d tag sum %d, want %d", t, sum, a.sum[t])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package workload
+
+import (
+	"fmt"
+)
+
+// btreeWL is a persistent B-tree (CLRS-style, minimum degree 3: at
+// most 5 keys and 6 children per node). Nodes are two cache lines;
+// splits write three nodes, so inserts touch a handful of lines with
+// moderate locality — between array's two-line ops and hash's pointer
+// chasing.
+type btreeWL struct {
+	maxKeys int
+	root    []uint64            // per-thread root node address
+	model   []map[uint64]uint64 // host-side model for verification
+}
+
+// B-tree node layout (128 bytes = 2 lines):
+//
+//	0   count
+//	8   flags (1 = leaf)
+//	16  keys[5]
+//	64  ptrs[6] (children for internal nodes, values for leaves —
+//	    a leaf uses ptrs[i] as the value of keys[i])
+const (
+	btMinDegree = 3
+	btMaxKeys   = 2*btMinDegree - 1 // 5
+	btNodeSize  = 128
+	btCountOff  = 0
+	btFlagsOff  = 8
+	btKeysOff   = 16
+	btPtrsOff   = 64
+)
+
+func newBTree(maxKeys int) *btreeWL { return &btreeWL{maxKeys: maxKeys} }
+
+// Name implements Workload.
+func (*btreeWL) Name() string { return "btree" }
+
+type btNode struct {
+	addr  uint64
+	count int
+	leaf  bool
+}
+
+func (b *btreeWL) load(ctx *Ctx, addr uint64) btNode {
+	return btNode{
+		addr:  addr,
+		count: int(ctx.Heap.ReadU64(addr + btCountOff)),
+		leaf:  ctx.Heap.ReadU64(addr+btFlagsOff) == 1,
+	}
+}
+
+func (b *btreeWL) key(ctx *Ctx, n btNode, i int) uint64 {
+	return ctx.Heap.ReadU64(n.addr + btKeysOff + uint64(i)*8)
+}
+
+func (b *btreeWL) ptr(ctx *Ctx, n btNode, i int) uint64 {
+	return ctx.Heap.ReadU64(n.addr + btPtrsOff + uint64(i)*8)
+}
+
+func (b *btreeWL) setKey(ctx *Ctx, n btNode, i int, v uint64) {
+	ctx.Heap.WriteU64(n.addr+btKeysOff+uint64(i)*8, v)
+}
+
+func (b *btreeWL) setPtr(ctx *Ctx, n btNode, i int, v uint64) {
+	ctx.Heap.WriteU64(n.addr+btPtrsOff+uint64(i)*8, v)
+}
+
+func (b *btreeWL) setCount(ctx *Ctx, n *btNode, count int) {
+	n.count = count
+	ctx.Heap.WriteU64(n.addr+btCountOff, uint64(count))
+}
+
+func (b *btreeWL) persist(ctx *Ctx, n btNode) {
+	ctx.Heap.Persist(n.addr, btNodeSize)
+}
+
+func (b *btreeWL) newNode(ctx *Ctx, leaf bool) (btNode, error) {
+	addr, err := ctx.Heap.Alloc(btNodeSize)
+	if err != nil {
+		return btNode{}, err
+	}
+	ctx.Heap.WriteU64(addr+btCountOff, 0)
+	flag := uint64(0)
+	if leaf {
+		flag = 1
+	}
+	ctx.Heap.WriteU64(addr+btFlagsOff, flag)
+	return btNode{addr: addr, count: 0, leaf: leaf}, nil
+}
+
+// Setup implements Workload.
+func (b *btreeWL) Setup(ctx *Ctx) error {
+	b.root = make([]uint64, ctx.Threads)
+	b.model = make([]map[uint64]uint64, ctx.Threads)
+	for t := 0; t < ctx.Threads; t++ {
+		root, err := b.newNode(ctx, true)
+		if err != nil {
+			return err
+		}
+		b.persist(ctx, root)
+		ctx.Heap.Fence()
+		b.root[t] = root.addr
+		b.model[t] = make(map[uint64]uint64)
+	}
+	// Load phase: populate to ~60% so measured inserts and searches
+	// traverse a tree of realistic height.
+	for t := 0; t < ctx.Threads; t++ {
+		for i := 0; i < b.maxKeys*6/10; i++ {
+			key := ctx.Rand(t)%uint64(b.maxKeys) + 1
+			if _, exists := b.model[t][key]; exists {
+				continue
+			}
+			if err := b.insert(ctx, t, key, key*3); err != nil {
+				return err
+			}
+			b.model[t][key] = key * 3
+		}
+	}
+	return nil
+}
+
+// splitChild splits the full i'th child of parent (CLRS B-TREE-SPLIT).
+func (b *btreeWL) splitChild(ctx *Ctx, parent btNode, i int) error {
+	child := b.load(ctx, b.ptr(ctx, parent, i))
+	sibling, err := b.newNode(ctx, child.leaf)
+	if err != nil {
+		return err
+	}
+	// Move the top t-1 keys (and ptrs) of child into sibling.
+	for j := 0; j < btMinDegree-1; j++ {
+		b.setKey(ctx, sibling, j, b.key(ctx, child, j+btMinDegree))
+		b.setPtr(ctx, sibling, j, b.ptr(ctx, child, j+btMinDegree))
+	}
+	if !child.leaf {
+		b.setPtr(ctx, sibling, btMinDegree-1, b.ptr(ctx, child, 2*btMinDegree-1))
+	}
+	b.setCount(ctx, &sibling, btMinDegree-1)
+	b.persist(ctx, sibling)
+	ctx.Heap.Fence()
+
+	// The median key moves up into the (internal) parent; its value
+	// stays behind only conceptually — this workload reads presence,
+	// not values, of promoted keys.
+	median := b.key(ctx, child, btMinDegree-1)
+	b.setCount(ctx, &child, btMinDegree-1)
+	b.persist(ctx, child)
+
+	// Shift parent's keys/ptrs right and link the sibling.
+	for j := parent.count; j > i; j-- {
+		b.setKey(ctx, parent, j, b.key(ctx, parent, j-1))
+		b.setPtr(ctx, parent, j+1, b.ptr(ctx, parent, j))
+	}
+	b.setKey(ctx, parent, i, median)
+	b.setPtr(ctx, parent, i+1, sibling.addr)
+	b.setCount(ctx, &parent, parent.count+1)
+	b.persist(ctx, parent)
+	ctx.Heap.Fence()
+	return nil
+}
+
+// insertNonFull inserts a key known to be absent from the tree into a
+// node known to have room (CLRS B-TREE-INSERT-NONFULL). The caller
+// (Step) guarantees uniqueness, which keeps values meaningful: a key
+// promoted to an internal node by a split carries its value in the
+// slot it left behind only for leaves, so updates of promoted keys are
+// simply never issued.
+func (b *btreeWL) insertNonFull(ctx *Ctx, n btNode, key, value uint64) error {
+	for {
+		i := n.count - 1
+		if n.leaf {
+			for i >= 0 && key < b.key(ctx, n, i) {
+				b.setKey(ctx, n, i+1, b.key(ctx, n, i))
+				b.setPtr(ctx, n, i+1, b.ptr(ctx, n, i))
+				i--
+			}
+			b.setKey(ctx, n, i+1, key)
+			b.setPtr(ctx, n, i+1, value)
+			b.setCount(ctx, &n, n.count+1)
+			b.persist(ctx, n)
+			ctx.Heap.Fence()
+			return nil
+		}
+		for i >= 0 && key < b.key(ctx, n, i) {
+			i--
+		}
+		if i >= 0 && b.key(ctx, n, i) == key {
+			return fmt.Errorf("btree: duplicate key %d reached an internal node", key)
+		}
+		i++
+		child := b.load(ctx, b.ptr(ctx, n, i))
+		if child.count == btMaxKeys {
+			if err := b.splitChild(ctx, n, i); err != nil {
+				return err
+			}
+			n = b.load(ctx, n.addr)
+			if key > b.key(ctx, n, i) {
+				i++
+			}
+			child = b.load(ctx, b.ptr(ctx, n, i))
+		}
+		n = child
+	}
+}
+
+func (b *btreeWL) insert(ctx *Ctx, t int, key, value uint64) error {
+	root := b.load(ctx, b.root[t])
+	if root.count == btMaxKeys {
+		newRoot, err := b.newNode(ctx, false)
+		if err != nil {
+			return err
+		}
+		b.setPtr(ctx, newRoot, 0, root.addr)
+		b.persist(ctx, newRoot)
+		ctx.Heap.Fence()
+		b.root[t] = newRoot.addr
+		if err := b.splitChild(ctx, newRoot, 0); err != nil {
+			return err
+		}
+		root = b.load(ctx, newRoot.addr)
+	}
+	return b.insertNonFull(ctx, root, key, value)
+}
+
+// search reports whether key is present, walking from the root.
+func (b *btreeWL) search(ctx *Ctx, t int, key uint64) bool {
+	n := b.load(ctx, b.root[t])
+	for {
+		i := 0
+		for i < n.count && key > b.key(ctx, n, i) {
+			i++
+		}
+		if i < n.count && key == b.key(ctx, n, i) {
+			return true
+		}
+		if n.leaf {
+			return false
+		}
+		n = b.load(ctx, b.ptr(ctx, n, i))
+	}
+}
+
+// Step implements Workload: 70% inserts, 30% searches.
+func (b *btreeWL) Step(ctx *Ctx, t int) error {
+	key := ctx.Rand(t)%uint64(b.maxKeys) + 1
+	if ctx.Rand(t)%10 < 7 {
+		if _, exists := b.model[t][key]; exists {
+			// Avoid update-after-promotion ambiguity: bump to a fresh
+			// key deterministically.
+			key = key + uint64(b.maxKeys)*(1+ctx.Rand(t)%8)
+			if _, again := b.model[t][key]; again {
+				return nil
+			}
+		}
+		if err := b.insert(ctx, t, key, key*3); err != nil {
+			return err
+		}
+		b.model[t][key] = key * 3
+		return nil
+	}
+	found := b.search(ctx, t, key)
+	_, inModel := b.model[t][key]
+	if found != inModel {
+		return fmt.Errorf("btree: thread %d key %d presence mismatch (tree %v, model %v)", t, key, found, inModel)
+	}
+	return nil
+}
+
+// Verify implements Workload: in-order traversal yields exactly the
+// model's keys in sorted order.
+func (b *btreeWL) Verify(ctx *Ctx) error {
+	for t := 0; t < ctx.Threads; t++ {
+		var keys []uint64
+		var walk func(addr uint64) error
+		walk = func(addr uint64) error {
+			n := b.load(ctx, addr)
+			for i := 0; i < n.count; i++ {
+				if !n.leaf {
+					if err := walk(b.ptr(ctx, n, i)); err != nil {
+						return err
+					}
+				}
+				keys = append(keys, b.key(ctx, n, i))
+			}
+			if !n.leaf {
+				return walk(b.ptr(ctx, n, n.count))
+			}
+			return nil
+		}
+		if err := walk(b.root[t]); err != nil {
+			return err
+		}
+		if len(keys) != len(b.model[t]) {
+			return fmt.Errorf("btree: thread %d has %d keys, model %d", t, len(keys), len(b.model[t]))
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				return fmt.Errorf("btree: thread %d keys out of order at %d", t, i)
+			}
+		}
+		for _, k := range keys {
+			if _, ok := b.model[t][k]; !ok {
+				return fmt.Errorf("btree: thread %d unexpected key %d", t, k)
+			}
+		}
+	}
+	return nil
+}

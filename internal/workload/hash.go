@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+
+	"nvmstar/internal/memline"
+)
+
+// hashWL is a persistent chained hash table: a bucket array of 8-byte
+// head pointers and 64-byte nodes {key, value, next}. Inserts persist
+// the node before linking it (persist ordering); deletes unlink and
+// persist the predecessor. Pointer chasing gives hash poor spatial
+// locality — the paper observes hash as the worst case for both IPC
+// and bitmap-line traffic.
+type hashWL struct {
+	buckets int
+	maxKeys int
+	table   []uint64            // per-thread bucket array base
+	model   []map[uint64]uint64 // host-side model for verification
+}
+
+const (
+	hashKeyOff   = 0
+	hashValueOff = 8
+	hashNextOff  = 16
+	hashNodeSize = memline.Size
+)
+
+func newHash(buckets, maxKeys int) *hashWL { return &hashWL{buckets: buckets, maxKeys: maxKeys} }
+
+// Name implements Workload.
+func (*hashWL) Name() string { return "hash" }
+
+// Setup implements Workload.
+func (h *hashWL) Setup(ctx *Ctx) error {
+	h.table = make([]uint64, ctx.Threads)
+	h.model = make([]map[uint64]uint64, ctx.Threads)
+	for t := 0; t < ctx.Threads; t++ {
+		tbl, err := ctx.Heap.Alloc(h.buckets * 8)
+		if err != nil {
+			return err
+		}
+		h.table[t] = tbl
+		for b := 0; b < h.buckets; b++ {
+			ctx.Heap.WriteU64(tbl+uint64(b)*8, 0)
+		}
+		ctx.Heap.Persist(tbl, h.buckets*8)
+		ctx.Heap.Fence()
+		h.model[t] = make(map[uint64]uint64)
+	}
+	// Load phase: populate to ~60% of the key space so the measured
+	// phase runs against a large, pointer-scattered table (the regime
+	// that makes hash the paper's locality worst case).
+	for t := 0; t < ctx.Threads; t++ {
+		for i := 0; i < h.maxKeys*6/10; i++ {
+			key := ctx.Rand(t)%uint64(h.maxKeys) + 1
+			if err := h.insert(ctx, t, key, key^0xabcd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (h *hashWL) bucketAddr(t int, key uint64) uint64 {
+	return h.table[t] + (key%uint64(h.buckets))*8
+}
+
+func (h *hashWL) lookup(ctx *Ctx, t int, key uint64) (node, prev uint64) {
+	prev = 0
+	node = ctx.Heap.ReadU64(h.bucketAddr(t, key))
+	for node != 0 {
+		if ctx.Heap.ReadU64(node+hashKeyOff) == key {
+			return node, prev
+		}
+		prev = node
+		node = ctx.Heap.ReadU64(node + hashNextOff)
+	}
+	return 0, prev
+}
+
+func (h *hashWL) insert(ctx *Ctx, t int, key, value uint64) error {
+	if node, _ := h.lookup(ctx, t, key); node != 0 {
+		ctx.Heap.WriteU64(node+hashValueOff, value)
+		ctx.Heap.Persist(node+hashValueOff, 8)
+		ctx.Heap.Fence()
+		h.model[t][key] = value
+		return nil
+	}
+	node, err := ctx.Heap.Alloc(hashNodeSize)
+	if err != nil {
+		return err
+	}
+	bucket := h.bucketAddr(t, key)
+	head := ctx.Heap.ReadU64(bucket)
+	ctx.Heap.WriteU64(node+hashKeyOff, key)
+	ctx.Heap.WriteU64(node+hashValueOff, value)
+	ctx.Heap.WriteU64(node+hashNextOff, head)
+	ctx.Heap.Persist(node, hashNodeSize)
+	ctx.Heap.Fence()
+	ctx.Heap.WriteU64(bucket, node)
+	ctx.Heap.Persist(bucket, 8)
+	ctx.Heap.Fence()
+	h.model[t][key] = value
+	return nil
+}
+
+func (h *hashWL) remove(ctx *Ctx, t int, key uint64) {
+	node, prev := h.lookup(ctx, t, key)
+	if node == 0 {
+		return
+	}
+	next := ctx.Heap.ReadU64(node + hashNextOff)
+	if prev == 0 {
+		bucket := h.bucketAddr(t, key)
+		ctx.Heap.WriteU64(bucket, next)
+		ctx.Heap.Persist(bucket, 8)
+	} else {
+		ctx.Heap.WriteU64(prev+hashNextOff, next)
+		ctx.Heap.Persist(prev+hashNextOff, 8)
+	}
+	ctx.Heap.Fence()
+	ctx.Heap.Free(node, hashNodeSize)
+	delete(h.model[t], key)
+}
+
+// Step implements Workload: 60% insert/update, 20% delete, 20% lookup.
+func (h *hashWL) Step(ctx *Ctx, t int) error {
+	key := ctx.Rand(t)%uint64(h.maxKeys) + 1
+	switch ctx.Rand(t) % 10 {
+	case 0, 1, 2, 3, 4, 5:
+		return h.insert(ctx, t, key, ctx.Rand(t))
+	case 6, 7:
+		h.remove(ctx, t, key)
+		return nil
+	default:
+		node, _ := h.lookup(ctx, t, key)
+		_, inModel := h.model[t][key]
+		if (node != 0) != inModel {
+			return fmt.Errorf("hash: thread %d key %d presence mismatch", t, key)
+		}
+		return nil
+	}
+}
+
+// Verify implements Workload: the table matches the host-side model
+// exactly.
+func (h *hashWL) Verify(ctx *Ctx) error {
+	for t := 0; t < ctx.Threads; t++ {
+		count := 0
+		for b := 0; b < h.buckets; b++ {
+			node := ctx.Heap.ReadU64(h.table[t] + uint64(b)*8)
+			for node != 0 {
+				key := ctx.Heap.ReadU64(node + hashKeyOff)
+				value := ctx.Heap.ReadU64(node + hashValueOff)
+				want, ok := h.model[t][key]
+				if !ok {
+					return fmt.Errorf("hash: thread %d has unexpected key %d", t, key)
+				}
+				if value != want {
+					return fmt.Errorf("hash: thread %d key %d = %d, want %d", t, key, value, want)
+				}
+				count++
+				node = ctx.Heap.ReadU64(node + hashNextOff)
+			}
+		}
+		if count != len(h.model[t]) {
+			return fmt.Errorf("hash: thread %d holds %d keys, model %d", t, count, len(h.model[t]))
+		}
+	}
+	return nil
+}

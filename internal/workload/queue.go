@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+
+	"nvmstar/internal/memline"
+)
+
+// queueWL is a persistent circular queue: 64-byte slots plus a
+// metadata line holding head/tail. Enqueue writes the slot, persists
+// it, then updates and persists the tail (the WHISPER persist-ordering
+// idiom); dequeue advances the head. High spatial locality — slots are
+// filled in ring order — which makes queue one of the cheapest
+// workloads for STAR's bitmap lines.
+type queueWL struct {
+	slots int
+	meta  []uint64 // per-thread metadata line: [head][tail][seqIn][seqOut]
+	ring  []uint64 // per-thread ring base
+}
+
+func newQueue(slots int) *queueWL { return &queueWL{slots: slots} }
+
+// Name implements Workload.
+func (*queueWL) Name() string { return "queue" }
+
+// Setup implements Workload.
+func (q *queueWL) Setup(ctx *Ctx) error {
+	q.meta = make([]uint64, ctx.Threads)
+	q.ring = make([]uint64, ctx.Threads)
+	for t := 0; t < ctx.Threads; t++ {
+		meta, err := ctx.Heap.Alloc(memline.Size)
+		if err != nil {
+			return err
+		}
+		ring, err := ctx.Heap.Alloc(q.slots * memline.Size)
+		if err != nil {
+			return err
+		}
+		q.meta[t], q.ring[t] = meta, ring
+		for _, off := range []uint64{0, 8, 16, 24} {
+			ctx.Heap.WriteU64(meta+off, 0)
+		}
+		ctx.Heap.Persist(meta, memline.Size)
+		ctx.Heap.Fence()
+	}
+	return nil
+}
+
+func (q *queueWL) count(ctx *Ctx, t int) (head, tail uint64) {
+	head = ctx.Heap.ReadU64(q.meta[t] + 0)
+	tail = ctx.Heap.ReadU64(q.meta[t] + 8)
+	return
+}
+
+// Step implements Workload: enqueue when below 3/4 full, dequeue when
+// above 1/4, random in between.
+func (q *queueWL) Step(ctx *Ctx, t int) error {
+	head, tail := q.count(ctx, t)
+	fill := tail - head
+	var enqueue bool
+	switch {
+	case fill <= uint64(q.slots)/4:
+		enqueue = true
+	case fill >= uint64(q.slots)*3/4:
+		enqueue = false
+	default:
+		enqueue = ctx.Rand(t)%2 == 0
+	}
+	if enqueue {
+		seq := ctx.Heap.ReadU64(q.meta[t] + 16)
+		slot := q.ring[t] + (tail%uint64(q.slots))*memline.Size
+		ctx.Heap.WriteU64(slot, seq)
+		ctx.Heap.Persist(slot, memline.Size)
+		ctx.Heap.Fence()
+		ctx.Heap.WriteU64(q.meta[t]+8, tail+1)
+		ctx.Heap.WriteU64(q.meta[t]+16, seq+1)
+		ctx.Heap.Persist(q.meta[t], memline.Size)
+		ctx.Heap.Fence()
+		return nil
+	}
+	slot := q.ring[t] + (head%uint64(q.slots))*memline.Size
+	got := ctx.Heap.ReadU64(slot)
+	expected := ctx.Heap.ReadU64(q.meta[t] + 24)
+	if got != expected {
+		return fmt.Errorf("queue: thread %d dequeued %d, want %d", t, got, expected)
+	}
+	ctx.Heap.WriteU64(q.meta[t]+0, head+1)
+	ctx.Heap.WriteU64(q.meta[t]+24, expected+1)
+	ctx.Heap.Persist(q.meta[t], memline.Size)
+	ctx.Heap.Fence()
+	return nil
+}
+
+// Verify implements Workload: queue contents are exactly the sequence
+// numbers [seqOut, seqIn) in FIFO order.
+func (q *queueWL) Verify(ctx *Ctx) error {
+	for t := 0; t < ctx.Threads; t++ {
+		head, tail := q.count(ctx, t)
+		seqIn := ctx.Heap.ReadU64(q.meta[t] + 16)
+		seqOut := ctx.Heap.ReadU64(q.meta[t] + 24)
+		if tail-head != seqIn-seqOut {
+			return fmt.Errorf("queue: thread %d fill %d != pending %d", t, tail-head, seqIn-seqOut)
+		}
+		for i := uint64(0); i < tail-head; i++ {
+			slot := q.ring[t] + ((head+i)%uint64(q.slots))*memline.Size
+			if got := ctx.Heap.ReadU64(slot); got != seqOut+i {
+				return fmt.Errorf("queue: thread %d slot %d holds %d, want %d", t, i, got, seqOut+i)
+			}
+		}
+	}
+	return nil
+}

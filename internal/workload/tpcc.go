@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"fmt"
+
+	"nvmstar/internal/memline"
+)
+
+// tpccWL is a WHISPER-style simplification of TPC-C: new-order and
+// payment transactions over persistent warehouse/district/customer/
+// stock tables, made crash-consistent with a per-thread redo log
+// (log entries persisted before in-place updates, then a commit
+// record). Transactions touch many scattered lines — log, rows,
+// order records — giving the mixed locality profile of the macro
+// benchmarks in the paper's Fig. 10-13.
+type tpccWL struct {
+	districts int
+	customers int
+	items     int
+	logSlots  int
+
+	warehouse uint64 // one 64B row: ytd at offset 0
+	district  uint64 // districts x 64B rows: next_oid@0, ytd@8
+	customer  uint64 // customers x 64B rows: balance@0, payments@8
+	stock     uint64 // items x 64B rows: quantity@0, ytd@8
+	orders    uint64 // append-only order records, 64B each
+	orderCap  int
+	logBase   []uint64 // per-thread redo-log ring
+	logHead   []int
+
+	// Host-side ground truth for verification.
+	wantOrders   uint64
+	wantPayments uint64
+	wantYTD      uint64
+}
+
+func newTPCC() *tpccWL {
+	return &tpccWL{districts: 8, customers: 4096, items: 16384, logSlots: 64, orderCap: 1 << 16}
+}
+
+// Name implements Workload.
+func (*tpccWL) Name() string { return "tpcc" }
+
+// Setup implements Workload.
+func (w *tpccWL) Setup(ctx *Ctx) error {
+	alloc := func(lines int) (uint64, error) { return ctx.Heap.Alloc(lines * memline.Size) }
+	var err error
+	if w.warehouse, err = alloc(1); err != nil {
+		return err
+	}
+	if w.district, err = alloc(w.districts); err != nil {
+		return err
+	}
+	if w.customer, err = alloc(w.customers); err != nil {
+		return err
+	}
+	if w.stock, err = alloc(w.items); err != nil {
+		return err
+	}
+	if w.orders, err = alloc(w.orderCap); err != nil {
+		return err
+	}
+	ctx.Heap.WriteU64(w.warehouse, 0)
+	for d := 0; d < w.districts; d++ {
+		ctx.Heap.WriteU64(w.district+uint64(d)*memline.Size, 0)
+		ctx.Heap.WriteU64(w.district+uint64(d)*memline.Size+8, 0)
+	}
+	for c := 0; c < w.customers; c++ {
+		ctx.Heap.WriteU64(w.customer+uint64(c)*memline.Size, 1000)
+		ctx.Heap.WriteU64(w.customer+uint64(c)*memline.Size+8, 0)
+	}
+	for i := 0; i < w.items; i++ {
+		ctx.Heap.WriteU64(w.stock+uint64(i)*memline.Size, 10000)
+	}
+	ctx.Heap.Persist(w.district, w.districts*memline.Size)
+	ctx.Heap.Persist(w.customer, w.customers*memline.Size)
+	ctx.Heap.Persist(w.stock, w.items*memline.Size)
+	ctx.Heap.Fence()
+
+	w.logBase = make([]uint64, ctx.Threads)
+	w.logHead = make([]int, ctx.Threads)
+	for t := 0; t < ctx.Threads; t++ {
+		if w.logBase[t], err = alloc(w.logSlots); err != nil {
+			return err
+		}
+	}
+	w.wantOrders, w.wantPayments, w.wantYTD = 0, 0, 0
+	return nil
+}
+
+// logWrite appends one redo-log entry (addr, newValue) and persists it.
+func (w *tpccWL) logWrite(ctx *Ctx, t int, addr, newValue uint64) {
+	slot := w.logBase[t] + uint64(w.logHead[t]%w.logSlots)*memline.Size
+	ctx.Heap.WriteU64(slot, addr)
+	ctx.Heap.WriteU64(slot+8, newValue)
+	ctx.Heap.Persist(slot, memline.Size)
+	w.logHead[t]++
+}
+
+// apply performs a logged in-place update and persists it.
+func (w *tpccWL) apply(ctx *Ctx, addr, newValue uint64) {
+	ctx.Heap.WriteU64(addr, newValue)
+	ctx.Heap.Persist(addr, 8)
+}
+
+// newOrder runs one new-order transaction: bump the district's
+// next_oid, decrement 5-14 stock rows, append an order record.
+func (w *tpccWL) newOrder(ctx *Ctx, t int) {
+	d := uint64(t % w.districts)
+	dAddr := w.district + d*memline.Size
+	oid := ctx.Heap.ReadU64(dAddr)
+	nItems := 5 + int(ctx.Rand(t)%10)
+
+	type upd struct{ addr, val uint64 }
+	updates := make([]upd, 0, nItems+2)
+	updates = append(updates, upd{dAddr, oid + 1})
+	for i := 0; i < nItems; i++ {
+		item := ctx.Rand(t) % uint64(w.items)
+		sAddr := w.stock + item*memline.Size
+		q := ctx.Heap.ReadU64(sAddr)
+		if q == 0 {
+			q = 10001 // restock, as TPC-C does
+		}
+		updates = append(updates, upd{sAddr, q - 1})
+	}
+	orderRec := w.orders + (w.wantOrders%uint64(w.orderCap))*memline.Size
+	updates = append(updates, upd{orderRec, oid<<16 | d})
+
+	// Redo phase: log every update, fence, then apply in place.
+	for _, u := range updates {
+		w.logWrite(ctx, t, u.addr, u.val)
+	}
+	ctx.Heap.Fence()
+	for _, u := range updates {
+		w.apply(ctx, u.addr, u.val)
+	}
+	ctx.Heap.Fence()
+	// Commit record.
+	w.logWrite(ctx, t, 0, ^uint64(0))
+	ctx.Heap.Fence()
+	w.wantOrders++
+}
+
+// payment runs one payment transaction: warehouse ytd, district ytd,
+// customer balance.
+func (w *tpccWL) payment(ctx *Ctx, t int) {
+	amount := ctx.Rand(t)%500 + 1
+	d := uint64(t % w.districts)
+	c := ctx.Rand(t) % uint64(w.customers)
+	dAddr := w.district + d*memline.Size + 8
+	cAddr := w.customer + c*memline.Size
+
+	wYTD := ctx.Heap.ReadU64(w.warehouse)
+	dYTD := ctx.Heap.ReadU64(dAddr)
+	bal := ctx.Heap.ReadU64(cAddr)
+	pays := ctx.Heap.ReadU64(cAddr + 8)
+
+	w.logWrite(ctx, t, w.warehouse, wYTD+amount)
+	w.logWrite(ctx, t, dAddr, dYTD+amount)
+	w.logWrite(ctx, t, cAddr, bal-amount)
+	ctx.Heap.Fence()
+	w.apply(ctx, w.warehouse, wYTD+amount)
+	w.apply(ctx, dAddr, dYTD+amount)
+	w.apply(ctx, cAddr, bal-amount)
+	ctx.Heap.WriteU64(cAddr+8, pays+1)
+	ctx.Heap.Persist(cAddr+8, 8)
+	ctx.Heap.Fence()
+	w.logWrite(ctx, t, 0, ^uint64(0))
+	ctx.Heap.Fence()
+	w.wantPayments++
+	w.wantYTD += amount
+}
+
+// Step implements Workload: the TPC-C mix is roughly 45% new-order /
+// 43% payment / the rest read-only; we fold reads into 10%.
+func (w *tpccWL) Step(ctx *Ctx, t int) error {
+	switch r := ctx.Rand(t) % 100; {
+	case r < 45:
+		w.newOrder(ctx, t)
+	case r < 88:
+		w.payment(ctx, t)
+	default: // order-status: read a customer and a district
+		c := ctx.Rand(t) % uint64(w.customers)
+		_ = ctx.Heap.ReadU64(w.customer + c*memline.Size)
+		_ = ctx.Heap.ReadU64(w.district + uint64(t%w.districts)*memline.Size)
+	}
+	return nil
+}
+
+// Verify implements Workload: aggregate invariants across tables.
+func (w *tpccWL) Verify(ctx *Ctx) error {
+	var oidSum uint64
+	for d := 0; d < w.districts; d++ {
+		oidSum += ctx.Heap.ReadU64(w.district + uint64(d)*memline.Size)
+	}
+	if oidSum != w.wantOrders {
+		return fmt.Errorf("tpcc: district next_oid sum %d, want %d orders", oidSum, w.wantOrders)
+	}
+	if ytd := ctx.Heap.ReadU64(w.warehouse); ytd != w.wantYTD {
+		return fmt.Errorf("tpcc: warehouse ytd %d, want %d", ytd, w.wantYTD)
+	}
+	var dYTD uint64
+	for d := 0; d < w.districts; d++ {
+		dYTD += ctx.Heap.ReadU64(w.district + uint64(d)*memline.Size + 8)
+	}
+	if dYTD != w.wantYTD {
+		return fmt.Errorf("tpcc: district ytd sum %d, want %d", dYTD, w.wantYTD)
+	}
+	var pays uint64
+	for c := 0; c < w.customers; c++ {
+		pays += ctx.Heap.ReadU64(w.customer + uint64(c)*memline.Size + 8)
+	}
+	if pays != w.wantPayments {
+		return fmt.Errorf("tpcc: payment count %d, want %d", pays, w.wantPayments)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+
+	"nvmstar/internal/heap"
+)
+
+// run executes a workload over SimpleMemory and verifies it.
+func run(t *testing.T, name string, threads, steps int) {
+	t.Helper()
+	mem := heap.NewSimpleMemory()
+	h, err := heap.New(mem, 0, 512<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewCtx(h, threads, 42)
+	w, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != name {
+		t.Fatalf("Name() = %q", w.Name())
+	}
+	if err := w.Setup(ctx); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	for i := 0; i < steps; i++ {
+		if err := w.Step(ctx, i%threads); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := w.Verify(ctx); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if mem.Persists == 0 {
+		t.Fatal("workload issued no persists")
+	}
+}
+
+func TestAllWorkloadsRunAndVerify(t *testing.T) {
+	for _, name := range AllNames() {
+		t.Run(name, func(t *testing.T) {
+			run(t, name, 4, 4000)
+		})
+	}
+}
+
+func TestAllNamesConstructible(t *testing.T) {
+	for _, name := range AllNames() {
+		if _, err := New(name); err != nil {
+			t.Errorf("AllNames lists %q but New fails: %v", name, err)
+		}
+	}
+}
+
+func TestWorkloadsSingleThread(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			run(t, name, 1, 1500)
+		})
+	}
+}
+
+func TestWorkloadsEightThreads(t *testing.T) {
+	// The paper's configuration: 8 threads.
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			run(t, name, 8, 2000)
+		})
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := New("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	want := []string{"array", "btree", "hash", "queue", "rbtree", "tpcc", "ycsb"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, n := range got {
+		if _, err := New(n); err != nil {
+			t.Fatalf("registered workload %q not constructible: %v", n, err)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	// Two identical runs must issue identical numbers of memory
+	// operations — the whole simulator depends on determinism.
+	counts := make([]uint64, 2)
+	for i := range counts {
+		mem := heap.NewSimpleMemory()
+		h, _ := heap.New(mem, 0, 512<<20)
+		ctx := NewCtx(h, 4, 7)
+		w, _ := New("btree")
+		if err := w.Setup(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 2000; s++ {
+			if err := w.Step(ctx, s%4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts[i] = mem.Loads + mem.Stores + mem.Persists
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("non-deterministic: %d vs %d ops", counts[0], counts[1])
+	}
+}
+
+func TestRBTreeHeavyInserts(t *testing.T) {
+	// Push the red-black tree hard enough to exercise every fixup
+	// case, then check the invariants.
+	mem := heap.NewSimpleMemory()
+	h, _ := heap.New(mem, 0, 512<<20)
+	ctx := NewCtx(h, 2, 99)
+	w := newRBTree(100000)
+	if err := w.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if err := w.Step(ctx, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeHeavyInserts(t *testing.T) {
+	mem := heap.NewSimpleMemory()
+	h, _ := heap.New(mem, 0, 512<<20)
+	ctx := NewCtx(h, 2, 17)
+	w := newBTree(100000)
+	if err := w.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if err := w.Step(ctx, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+
+	"nvmstar/internal/memline"
+)
+
+// ycsbWL is a YCSB-style key-value workload (the paper's "yesb"):
+// 50% reads / 50% updates over preloaded 128-byte records, with a
+// skewed hot-set key distribution (80% of operations hit 20% of the
+// keys). Updates rewrite one field and persist it — the small-write,
+// high-reuse pattern typical of storage macro-benchmarks.
+type ycsbWL struct {
+	keys    int
+	records []uint64 // per-thread record region base
+	version []map[uint64]uint64
+}
+
+const ycsbRecSize = 2 * memline.Size
+
+func newYCSB(keys int) *ycsbWL { return &ycsbWL{keys: keys} }
+
+// Name implements Workload.
+func (*ycsbWL) Name() string { return "ycsb" }
+
+// Setup implements Workload: preload every record (the YCSB load
+// phase).
+func (y *ycsbWL) Setup(ctx *Ctx) error {
+	y.records = make([]uint64, ctx.Threads)
+	y.version = make([]map[uint64]uint64, ctx.Threads)
+	for t := 0; t < ctx.Threads; t++ {
+		base, err := ctx.Heap.Alloc(y.keys * ycsbRecSize)
+		if err != nil {
+			return err
+		}
+		y.records[t] = base
+		for k := 0; k < y.keys; k++ {
+			rec := base + uint64(k)*ycsbRecSize
+			ctx.Heap.WriteU64(rec, uint64(k))    // key
+			ctx.Heap.WriteU64(rec+8, 0)          // version
+			ctx.Heap.WriteU64(rec+64, uint64(k)) // payload tag in 2nd line
+		}
+		ctx.Heap.Persist(base, y.keys*ycsbRecSize)
+		ctx.Heap.Fence()
+		y.version[t] = make(map[uint64]uint64)
+	}
+	return nil
+}
+
+// pick returns a key with an 80/20 hot-set skew.
+func (y *ycsbWL) pick(ctx *Ctx, t int) uint64 {
+	hotKeys := uint64(y.keys / 5)
+	if hotKeys == 0 {
+		hotKeys = 1
+	}
+	if ctx.Rand(t)%10 < 8 {
+		// Hot set: scramble so hot keys spread across the region.
+		return (ctx.Rand(t) % hotKeys) * uint64(y.keys) / hotKeys % uint64(y.keys)
+	}
+	return ctx.Rand(t) % uint64(y.keys)
+}
+
+// Step implements Workload: read or update one record.
+func (y *ycsbWL) Step(ctx *Ctx, t int) error {
+	key := y.pick(ctx, t)
+	rec := y.records[t] + key*ycsbRecSize
+	if ctx.Rand(t)%2 == 0 {
+		// Read: both lines of the record.
+		if got := ctx.Heap.ReadU64(rec); got != key {
+			return fmt.Errorf("ycsb: thread %d record %d holds key %d", t, key, got)
+		}
+		if v := ctx.Heap.ReadU64(rec + 8); v != y.version[t][key] {
+			return fmt.Errorf("ycsb: thread %d key %d version %d, want %d", t, key, v, y.version[t][key])
+		}
+		_ = ctx.Heap.ReadU64(rec + 64)
+		return nil
+	}
+	v := y.version[t][key] + 1
+	ctx.Heap.WriteU64(rec+8, v)
+	ctx.Heap.Persist(rec+8, 8)
+	ctx.Heap.WriteU64(rec+64+8, v) // payload field in the second line
+	ctx.Heap.Persist(rec+64+8, 8)
+	ctx.Heap.Fence()
+	y.version[t][key] = v
+	return nil
+}
+
+// Verify implements Workload: every record's version matches the model.
+func (y *ycsbWL) Verify(ctx *Ctx) error {
+	for t := 0; t < ctx.Threads; t++ {
+		for k := 0; k < y.keys; k++ {
+			rec := y.records[t] + uint64(k)*ycsbRecSize
+			if v := ctx.Heap.ReadU64(rec + 8); v != y.version[t][uint64(k)] {
+				return fmt.Errorf("ycsb: thread %d key %d version %d, want %d", t, k, v, y.version[t][uint64(k)])
+			}
+		}
+	}
+	return nil
+}
