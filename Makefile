@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench report examples vet fmt clean
+.PHONY: all build test test-short bench report examples vet fmt clean race verify
 
-all: build vet test
+all: verify
+
+# Tier-1 verify path: build + vet + full tests + race gate over the
+# concurrency-bearing packages (the parallel experiment runner and the
+# simulator it drives).
+verify: build vet test race
 
 build:
 	$(GO) build ./...
@@ -22,6 +27,13 @@ test:
 # Quick suite: skips the shape gate and the full scheme matrix.
 test-short:
 	$(GO) test -short ./...
+
+# Race detector over the packages with real concurrency: the parallel
+# experiment runner's worker pool and the sim context plumbing it
+# exercises. -short skips the wall-clock speedup comparison, which is
+# meaningless under the race detector's slowdown.
+race:
+	$(GO) test -race -short ./internal/experiments ./internal/sim
 
 # One benchmark per paper table/figure, plus ablations and baselines.
 bench:

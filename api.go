@@ -36,8 +36,10 @@
 package nvmstar
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"nvmstar/internal/bitmap"
 	"nvmstar/internal/memline"
@@ -76,7 +78,9 @@ type Options struct {
 	// Cores is the core/thread count; default 8.
 	Cores int
 	// ADRBitmapLines is STAR's ADR allocation (L1+L2); default 16,
-	// split 14+2 as in the paper.
+	// split 14+2 as in the paper. The minimum is 2: the split always
+	// reserves at least one L2 index line, so at least one more line
+	// must remain for L1. Values below 2 are rejected by New.
 	ADRBitmapLines int
 	// RealCrypto selects AES/SHA-256 primitives instead of the fast
 	// simulation PRF.
@@ -90,10 +94,16 @@ type System struct {
 	m *sim.Machine
 }
 
-// New builds a system.
+// New builds a system. An unknown Options.Scheme or an
+// Options.ADRBitmapLines below the minimum of 2 returns a descriptive
+// error.
 func New(opts Options) (*System, error) {
 	cfg := sim.Default()
 	if opts.Scheme != "" {
+		if !validScheme(opts.Scheme) {
+			return nil, fmt.Errorf("nvmstar: unknown scheme %q (valid schemes: %s)",
+				opts.Scheme, strings.Join(Schemes(), ", "))
+		}
 		cfg.Scheme = opts.Scheme
 	}
 	if opts.DataBytes != 0 {
@@ -106,12 +116,14 @@ func New(opts Options) (*System, error) {
 		cfg.Cores = opts.Cores
 	}
 	if opts.ADRBitmapLines != 0 {
+		if opts.ADRBitmapLines < 2 {
+			return nil, fmt.Errorf(
+				"nvmstar: ADRBitmapLines = %d: minimum is 2 (the split reserves at least one L2 index line plus at least one L1 line)",
+				opts.ADRBitmapLines)
+		}
 		l2 := opts.ADRBitmapLines / 8
 		if l2 == 0 {
 			l2 = 1
-		}
-		if opts.ADRBitmapLines-l2 <= 0 {
-			return nil, fmt.Errorf("nvmstar: at least 2 ADR bitmap lines required")
 		}
 		cfg.Bitmap = bitmap.Config{ADRL1Lines: opts.ADRBitmapLines - l2, ADRL2Lines: l2}
 	}
@@ -178,7 +190,24 @@ func (s *System) Recover() (*secmem.RecoveryReport, error) { return s.m.Recover(
 // internal/workload: array, btree, hash, queue, rbtree, tpcc, ycsb)
 // for ops measured operations and returns the measured statistics.
 func (s *System) RunBenchmark(workload string, ops int) (*sim.Results, error) {
-	return s.m.Run(workload, ops)
+	return s.RunBenchmarkCtx(context.Background(), workload, ops)
+}
+
+// RunBenchmarkCtx is RunBenchmark under a context: cancellation or
+// timeout aborts the workload mid-run (setup, measured steps and
+// verification all poll the context) and returns ctx.Err().
+func (s *System) RunBenchmarkCtx(ctx context.Context, workload string, ops int) (*sim.Results, error) {
+	return s.m.RunCtx(ctx, workload, ops)
+}
+
+// validScheme reports whether name is in Schemes().
+func validScheme(name string) bool {
+	for _, s := range Schemes() {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Err returns the first integrity violation encountered by Load/Store

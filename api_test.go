@@ -1,7 +1,9 @@
 package nvmstar_test
 
 import (
+	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"nvmstar"
@@ -125,11 +127,67 @@ func TestSystemRunBenchmark(t *testing.T) {
 }
 
 func TestSystemOptionsValidation(t *testing.T) {
-	if _, err := nvmstar.New(nvmstar.Options{Scheme: "bogus"}); err == nil {
+	_, err := nvmstar.New(nvmstar.Options{Scheme: "bogus"})
+	if err == nil {
 		t.Fatal("bogus scheme accepted")
+	}
+	// The error must name the offender and list the valid set.
+	if !strings.Contains(err.Error(), `"bogus"`) {
+		t.Fatalf("scheme error does not name the offending value: %v", err)
+	}
+	for _, s := range nvmstar.Schemes() {
+		if !strings.Contains(err.Error(), s) {
+			t.Fatalf("scheme error does not list %q: %v", s, err)
+		}
 	}
 	if _, err := nvmstar.New(nvmstar.Options{ADRBitmapLines: 1}); err == nil {
 		t.Fatal("1 ADR line accepted (needs L1+L2)")
+	}
+}
+
+func TestADRBitmapLinesBoundary(t *testing.T) {
+	// Below the minimum: a descriptive error naming the value and the
+	// minimum, not a confusing downstream split failure.
+	for _, lines := range []int{-4, 1} {
+		_, err := nvmstar.New(nvmstar.Options{ADRBitmapLines: lines})
+		if err == nil {
+			t.Fatalf("ADRBitmapLines=%d accepted", lines)
+		}
+		if !strings.Contains(err.Error(), "minimum is 2") {
+			t.Fatalf("ADRBitmapLines=%d error does not state the minimum: %v", lines, err)
+		}
+	}
+	// The documented minimum and the next value up both construct
+	// (split 1+1 and 2+1).
+	for _, lines := range []int{2, 3} {
+		sys, err := nvmstar.New(nvmstar.Options{
+			ADRBitmapLines: lines, DataBytes: 8 << 20, MetaCacheBytes: 64 << 10, Cores: 1,
+		})
+		if err != nil {
+			t.Fatalf("ADRBitmapLines=%d rejected: %v", lines, err)
+		}
+		sys.Store(0, []byte("x"))
+		sys.PersistRange(0, 1)
+		if err := sys.Err(); err != nil {
+			t.Fatalf("ADRBitmapLines=%d broken machine: %v", lines, err)
+		}
+	}
+}
+
+func TestSystemRunBenchmarkCtx(t *testing.T) {
+	sys := newSystem(t, "star")
+	res, err := sys.RunBenchmarkCtx(context.Background(), "queue", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 300 {
+		t.Fatalf("results = %+v", res)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := newSystem(t, "star").RunBenchmarkCtx(canceled, "queue", 300); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled benchmark err = %v", err)
 	}
 }
 

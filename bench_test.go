@@ -15,12 +15,14 @@
 package nvmstar_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"nvmstar/internal/bitmap"
 	"nvmstar/internal/cache"
 	"nvmstar/internal/cachetree"
+	"nvmstar/internal/experiments"
 	"nvmstar/internal/schemes/star"
 	"nvmstar/internal/sim"
 	"nvmstar/internal/simcrypto"
@@ -327,6 +329,31 @@ func BenchmarkAblationCacheTree(b *testing.B) {
 		}
 		b.ReportMetric(float64(tr.Stats().NodeHashes-before)/float64(b.N), "hashes/update")
 	})
+}
+
+// BenchmarkRunnerMatrix measures the wall-clock of a full
+// four-scheme x three-workload sweep through the parallel experiment
+// runner at several pool widths. On a multi-core machine the per-cell
+// independence makes the sweep scale close to linearly until the pool
+// exceeds the matrix or the cores (the acceptance target is <= 0.5x
+// the sequential wall time with 4 workers on 4+ cores); per-cell
+// results are bit-identical at every width.
+func BenchmarkRunnerMatrix(b *testing.B) {
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			r := experiments.NewRunner(
+				experiments.WithOps(benchOps),
+				experiments.WithWorkloads("array", "hash", "queue"),
+				experiments.WithParallelism(par),
+				experiments.WithConfig(func() sim.Config { return benchCfg("star") }),
+			)
+			for i := 0; i < b.N; i++ {
+				if _, err := r.SchemeComparison(context.Background(), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEngineWriteLine is a plain throughput benchmark of the

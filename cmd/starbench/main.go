@@ -1,19 +1,28 @@
 // Command starbench regenerates the paper's evaluation (Figs. 10-14,
 // Table II) on the simulated machine and prints each experiment as an
-// aligned table. Every experiment can be run alone:
+// aligned table. The (workload, scheme, seed) cell matrix fans out
+// over a worker pool (-parallel, default GOMAXPROCS); results are
+// bit-identical to a sequential run. Every experiment can be run
+// alone:
 //
 //	starbench -exp fig11 -ops 20000
-//	starbench -exp all
+//	starbench -exp all -parallel 8
 //
 // The -workloads flag restricts the workload set, e.g.
-// -workloads array,hash.
+// -workloads array,hash. Per-cell completion, wall time and ETA are
+// reported on stderr (-progress=false silences them); Ctrl-C aborts
+// the sweep mid-cell.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"nvmstar/internal/experiments"
 	"nvmstar/internal/sim"
@@ -30,11 +39,10 @@ func main() {
 	format := flag.String("format", "table", "output format: table|csv")
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
 	metaKB := flag.Int("meta-kb", 256, "metadata cache size in KiB")
+	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", true, "report per-cell completion and ETA on stderr")
 	flag.Parse()
 
-	o := experiments.DefaultOptions()
-	o.Ops = *ops
-	o.Seeds = *seeds
 	switch *format {
 	case "table":
 		render = experiments.FormatTable
@@ -44,19 +52,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "starbench: unknown format %q\n", *format)
 		os.Exit(2)
 	}
-	o.Config = func() sim.Config {
-		cfg := sim.Default()
-		cfg.DataBytes = uint64(*dataMB) << 20
-		cfg.MetaCache.SizeBytes = *metaKB << 10
-		return cfg
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ropts := []experiments.Option{
+		experiments.WithOps(*ops),
+		experiments.WithSeeds(*seeds),
+		experiments.WithParallelism(*parallel),
+		experiments.WithConfig(func() sim.Config {
+			cfg := sim.Default()
+			cfg.DataBytes = uint64(*dataMB) << 20
+			cfg.MetaCache.SizeBytes = *metaKB << 10
+			return cfg
+		}),
 	}
 	if *workloads != "" {
-		o.Workloads = strings.Split(*workloads, ",")
+		ropts = append(ropts, experiments.WithWorkloads(strings.Split(*workloads, ",")...))
 	}
+	if *progress {
+		ropts = append(ropts, experiments.WithProgress(printProgress))
+	}
+	r := experiments.NewRunner(ropts...)
 
 	run := func(name string, fn func() error) {
 		fmt.Printf("== %s ==\n", name)
 		if err := fn(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "starbench: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "starbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -68,27 +93,27 @@ func main() {
 
 	if want("fig10") {
 		ran = true
-		run("Fig. 10: bitmap-line writes vs WB writes", func() error { return fig10(o) })
+		run("Fig. 10: bitmap-line writes vs WB writes", func() error { return fig10(ctx, r) })
 	}
 	if want("fig11") || want("fig12") || want("fig13") {
 		ran = true
-		run("Figs. 11-13: write traffic / IPC / energy (normalized to WB)", func() error { return schemeComparison(o) })
+		run("Figs. 11-13: write traffic / IPC / energy (normalized to WB)", func() error { return schemeComparison(ctx, r) })
 	}
 	if want("table2") {
 		ran = true
-		run("Table II: ADR bitmap-line hit ratio", func() error { return table2(o) })
+		run("Table II: ADR bitmap-line hit ratio", func() error { return table2(ctx, r) })
 	}
 	if want("fig14a") {
 		ran = true
-		run("Fig. 14a: dirty metadata fraction", func() error { return fig14a(o) })
+		run("Fig. 14a: dirty metadata fraction", func() error { return fig14a(ctx, r) })
 	}
 	if want("fig14b") {
 		ran = true
-		run("Fig. 14b: recovery time vs metadata cache size", func() error { return fig14b(o) })
+		run("Fig. 14b: recovery time vs metadata cache size", func() error { return fig14b(ctx, r) })
 	}
 	if want("ablation-index") {
 		ran = true
-		run("Ablation: multi-layer index vs flat RA scan", func() error { return ablationIndex(o) })
+		run("Ablation: multi-layer index vs flat RA scan", func() error { return ablationIndex(ctx, r) })
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "starbench: unknown experiment %q\n", *exp)
@@ -96,22 +121,42 @@ func main() {
 	}
 }
 
-func fig10(o experiments.Options) error {
-	rows, err := experiments.Fig10(o)
+// printProgress renders one completed cell on stderr:
+//
+//	[ 3/28] array/star 1.2s (elapsed 3.8s, eta 31s)
+func printProgress(p experiments.Progress) {
+	cell := p.Cell.Workload + "/" + p.Cell.Scheme
+	if p.Cell.Label != "" {
+		cell += " " + p.Cell.Label
+	}
+	line := fmt.Sprintf("[%2d/%d] %s %.1fs (elapsed %.1fs",
+		p.Done, p.Total, cell, p.CellWall.Seconds(), p.Elapsed.Seconds())
+	if p.Done < p.Total {
+		line += fmt.Sprintf(", eta %.1fs", p.ETA.Seconds())
+	}
+	line += ")"
+	if p.Err != nil {
+		line += fmt.Sprintf(" ERROR: %v", p.Err)
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
+func fig10(ctx context.Context, r *experiments.Runner) error {
+	rows, err := r.Fig10(ctx)
 	if err != nil {
 		return err
 	}
 	var cells [][]string
 	var sumRatio float64
-	for _, r := range rows {
+	for _, row := range rows {
 		cells = append(cells, []string{
-			r.Workload,
-			fmt.Sprintf("%d", r.WBWrites),
-			fmt.Sprintf("%d", r.BitmapWrites),
-			fmt.Sprintf("%d", r.BitmapReads),
-			fmt.Sprintf("%.0fx", r.Ratio),
+			row.Workload,
+			fmt.Sprintf("%d", row.WBWrites),
+			fmt.Sprintf("%d", row.BitmapWrites),
+			fmt.Sprintf("%d", row.BitmapReads),
+			fmt.Sprintf("%.0fx", row.Ratio),
 		})
-		sumRatio += r.Ratio
+		sumRatio += row.Ratio
 	}
 	cells = append(cells, []string{"average", "", "", "", fmt.Sprintf("%.0fx", sumRatio/float64(len(rows)))})
 	fmt.Print(render(
@@ -119,22 +164,22 @@ func fig10(o experiments.Options) error {
 	return nil
 }
 
-func schemeComparison(o experiments.Options) error {
-	rows, err := experiments.SchemeComparison(o, nil)
+func schemeComparison(ctx context.Context, r *experiments.Runner) error {
+	rows, err := r.SchemeComparison(ctx, nil)
 	if err != nil {
 		return err
 	}
 	experiments.SortSchemeRows(rows)
 	var cells [][]string
-	for _, r := range rows {
+	for _, row := range rows {
 		cells = append(cells, []string{
-			r.Workload, r.Scheme,
-			fmt.Sprintf("%.2f", r.WritesPerOp),
-			fmt.Sprintf("%.2fx", r.WriteRatio),
-			fmt.Sprintf("%.3f", r.IPC),
-			fmt.Sprintf("%.2f", r.IPCRatio),
-			fmt.Sprintf("%.1f", r.EnergyPerOp/1000),
-			fmt.Sprintf("%.2fx", r.EnergyRatio),
+			row.Workload, row.Scheme,
+			fmt.Sprintf("%.2f", row.WritesPerOp),
+			fmt.Sprintf("%.2fx", row.WriteRatio),
+			fmt.Sprintf("%.3f", row.IPC),
+			fmt.Sprintf("%.2f", row.IPCRatio),
+			fmt.Sprintf("%.1f", row.EnergyPerOp/1000),
+			fmt.Sprintf("%.2fx", row.EnergyRatio),
 		})
 	}
 	fmt.Print(render(
@@ -142,51 +187,51 @@ func schemeComparison(o experiments.Options) error {
 	return nil
 }
 
-func table2(o experiments.Options) error {
-	rows, err := experiments.Table2(o, nil)
+func table2(ctx context.Context, r *experiments.Runner) error {
+	rows, err := r.Table2(ctx, nil)
 	if err != nil {
 		return err
 	}
 	var cells [][]string
-	for _, r := range rows {
+	for _, row := range rows {
 		cells = append(cells, []string{
-			fmt.Sprintf("%d", r.ADRLines),
-			fmt.Sprintf("%.2f%%", 100*r.HitRatio),
+			fmt.Sprintf("%d", row.ADRLines),
+			fmt.Sprintf("%.2f%%", 100*row.HitRatio),
 		})
 	}
 	fmt.Print(render([]string{"bitmap lines", "hit ratio"}, cells))
 	return nil
 }
 
-func fig14a(o experiments.Options) error {
-	rows, err := experiments.Fig14a(o)
+func fig14a(ctx context.Context, r *experiments.Runner) error {
+	rows, err := r.Fig14a(ctx)
 	if err != nil {
 		return err
 	}
 	var cells [][]string
 	var sum float64
-	for _, r := range rows {
-		cells = append(cells, []string{r.Workload, fmt.Sprintf("%.1f%%", 100*r.DirtyFrac)})
-		sum += r.DirtyFrac
+	for _, row := range rows {
+		cells = append(cells, []string{row.Workload, fmt.Sprintf("%.1f%%", 100*row.DirtyFrac)})
+		sum += row.DirtyFrac
 	}
 	cells = append(cells, []string{"average", fmt.Sprintf("%.1f%%", 100*sum/float64(len(rows)))})
 	fmt.Print(render([]string{"workload", "dirty metadata"}, cells))
 	return nil
 }
 
-func fig14b(o experiments.Options) error {
-	rows, err := experiments.Fig14b(o, nil)
+func fig14b(ctx context.Context, r *experiments.Runner) error {
+	rows, err := r.Fig14b(ctx, nil)
 	if err != nil {
 		return err
 	}
 	var cells [][]string
-	for _, r := range rows {
+	for _, row := range rows {
 		cells = append(cells, []string{
-			fmt.Sprintf("%d KiB", r.MetaCacheBytes>>10),
-			fmt.Sprintf("%d", r.StaleNodes),
-			fmt.Sprintf("%.4fs", r.StarSeconds),
-			fmt.Sprintf("%.4fs", r.AnubisSeconds),
-			fmt.Sprintf("%.2fx", r.StarSeconds/r.AnubisSeconds),
+			fmt.Sprintf("%d KiB", row.MetaCacheBytes>>10),
+			fmt.Sprintf("%d", row.StaleNodes),
+			fmt.Sprintf("%.4fs", row.StarSeconds),
+			fmt.Sprintf("%.4fs", row.AnubisSeconds),
+			fmt.Sprintf("%.2fx", row.StarSeconds/row.AnubisSeconds),
 		})
 	}
 	fmt.Print(render(
@@ -194,19 +239,19 @@ func fig14b(o experiments.Options) error {
 	return nil
 }
 
-func ablationIndex(o experiments.Options) error {
-	rows, err := experiments.AblationIndex(o)
+func ablationIndex(ctx context.Context, r *experiments.Runner) error {
+	rows, err := r.AblationIndex(ctx)
 	if err != nil {
 		return err
 	}
 	var cells [][]string
-	for _, r := range rows {
+	for _, row := range rows {
 		cells = append(cells, []string{
-			r.Workload,
-			fmt.Sprintf("%d", r.IndexedReads),
-			fmt.Sprintf("%d", r.FlatReads),
-			fmt.Sprintf("%.4fs", r.IndexedSecs),
-			fmt.Sprintf("%.4fs", r.FlatSecs),
+			row.Workload,
+			fmt.Sprintf("%d", row.IndexedReads),
+			fmt.Sprintf("%d", row.FlatReads),
+			fmt.Sprintf("%.4fs", row.IndexedSecs),
+			fmt.Sprintf("%.4fs", row.FlatSecs),
 		})
 	}
 	fmt.Print(render(

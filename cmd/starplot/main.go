@@ -1,14 +1,19 @@
 // Command starplot regenerates the paper's evaluation figures as SVG
-// files (Figs. 10-13 and 14a/14b) from live simulation runs:
+// files (Figs. 10-13 and 14a/14b) from live simulation runs, fanning
+// the cell matrix out over a worker pool:
 //
-//	starplot -ops 8000 -out ./figures
+//	starplot -ops 8000 -out ./figures -parallel 8
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"nvmstar/internal/experiments"
 	"nvmstar/internal/sim"
@@ -18,19 +23,38 @@ import (
 func main() {
 	ops := flag.Int("ops", 8000, "measured operations per workload run")
 	out := flag.String("out", "figures", "output directory for SVG files")
+	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", true, "report per-cell completion and ETA on stderr")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
 	}
-	o := experiments.DefaultOptions()
-	o.Ops = *ops
-	o.Config = func() sim.Config {
-		cfg := sim.Default()
-		cfg.DataBytes = 64 << 20
-		cfg.MetaCache.SizeBytes = 256 << 10
-		return cfg
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ropts := []experiments.Option{
+		experiments.WithOps(*ops),
+		experiments.WithParallelism(*parallel),
+		experiments.WithConfig(func() sim.Config {
+			cfg := sim.Default()
+			cfg.DataBytes = 64 << 20
+			cfg.MetaCache.SizeBytes = 256 << 10
+			return cfg
+		}),
 	}
+	if *progress {
+		ropts = append(ropts, experiments.WithProgress(func(p experiments.Progress) {
+			cell := p.Cell.Workload + "/" + p.Cell.Scheme
+			if p.Cell.Label != "" {
+				cell += " " + p.Cell.Label
+			}
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %s %.1fs (elapsed %.1fs, eta %.1fs)\n",
+				p.Done, p.Total, cell, p.CellWall.Seconds(), p.Elapsed.Seconds(), p.ETA.Seconds())
+		}))
+	}
+	r := experiments.NewRunner(ropts...)
 
 	write := func(name string, chart *svgplot.BarChart) {
 		svg, err := chart.SVG()
@@ -45,7 +69,7 @@ func main() {
 	}
 
 	// Figs. 11-13 share one scheme-comparison run.
-	rows, err := experiments.SchemeComparison(o, []string{"wb", "star", "anubis", "strict"})
+	rows, err := r.SchemeComparison(ctx, []string{"wb", "star", "anubis", "strict"})
 	if err != nil {
 		fail(err)
 	}
@@ -83,7 +107,7 @@ func main() {
 		func(r experiments.SchemeRow) float64 { return r.EnergyRatio }, 8))
 
 	// Fig. 10: bitmap-line writes per op under STAR vs WB writes per op.
-	fig10, err := experiments.Fig10(o)
+	fig10, err := r.Fig10(ctx)
 	if err != nil {
 		fail(err)
 	}
@@ -92,16 +116,16 @@ func main() {
 		YLabel: "lines per operation",
 		Series: []string{"WB writes", "STAR bitmap writes"},
 	}
-	for _, r := range fig10 {
+	for _, row := range fig10 {
 		c10.Groups = append(c10.Groups, svgplot.BarGroup{
-			Label:  r.Workload,
-			Values: []float64{float64(r.WBWrites) / float64(o.Ops), float64(r.BitmapWrites) / float64(o.Ops)},
+			Label:  row.Workload,
+			Values: []float64{float64(row.WBWrites) / float64(*ops), float64(row.BitmapWrites) / float64(*ops)},
 		})
 	}
 	write("fig10_bitmap_writes.svg", c10)
 
 	// Fig. 14a: dirty metadata fraction.
-	fig14a, err := experiments.Fig14a(o)
+	fig14a, err := r.Fig14a(ctx)
 	if err != nil {
 		fail(err)
 	}
@@ -111,13 +135,13 @@ func main() {
 		Series: []string{"dirty %"},
 		YMax:   100,
 	}
-	for _, r := range fig14a {
-		c14a.Groups = append(c14a.Groups, svgplot.BarGroup{Label: r.Workload, Values: []float64{100 * r.DirtyFrac}})
+	for _, row := range fig14a {
+		c14a.Groups = append(c14a.Groups, svgplot.BarGroup{Label: row.Workload, Values: []float64{100 * row.DirtyFrac}})
 	}
 	write("fig14a_dirty_fraction.svg", c14a)
 
 	// Fig. 14b: recovery time vs metadata cache size.
-	fig14b, err := experiments.Fig14b(o, nil)
+	fig14b, err := r.Fig14b(ctx, nil)
 	if err != nil {
 		fail(err)
 	}
@@ -126,16 +150,20 @@ func main() {
 		YLabel: "recovery time (ms)",
 		Series: []string{"STAR", "Anubis"},
 	}
-	for _, r := range fig14b {
+	for _, row := range fig14b {
 		c14b.Groups = append(c14b.Groups, svgplot.BarGroup{
-			Label:  fmt.Sprintf("%dKiB", r.MetaCacheBytes>>10),
-			Values: []float64{r.StarSeconds * 1000, r.AnubisSeconds * 1000},
+			Label:  fmt.Sprintf("%dKiB", row.MetaCacheBytes>>10),
+			Values: []float64{row.StarSeconds * 1000, row.AnubisSeconds * 1000},
 		})
 	}
 	write("fig14b_recovery_time.svg", c14b)
 }
 
 func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "starplot: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "starplot:", err)
 	os.Exit(1)
 }

@@ -1,15 +1,20 @@
 // Command starreport runs the full evaluation matrix and emits a
 // markdown report of every reproduced relationship — the executable
-// form of EXPERIMENTS.md. The exit code is non-zero if any shape check
-// fails, so it doubles as a reproduction CI gate:
+// form of EXPERIMENTS.md. The matrix fans out over a worker pool
+// (-parallel); the exit code is non-zero if any shape check fails, so
+// it doubles as a reproduction CI gate:
 //
-//	starreport -ops 8000 > report.md
+//	starreport -ops 8000 -parallel 8 > report.md
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"nvmstar/internal/experiments"
 	"nvmstar/internal/shapes"
@@ -20,20 +25,41 @@ func main() {
 	ops := flag.Int("ops", 8000, "measured operations per workload run")
 	seeds := flag.Int("seeds", 1, "seeds to average per cell")
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
+	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", true, "report per-cell completion and ETA on stderr")
 	flag.Parse()
 
-	o := experiments.DefaultOptions()
-	o.Ops = *ops
-	o.Seeds = *seeds
-	o.Config = func() sim.Config {
-		cfg := sim.Default()
-		cfg.DataBytes = uint64(*dataMB) << 20
-		cfg.MetaCache.SizeBytes = 256 << 10
-		return cfg
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ropts := []experiments.Option{
+		experiments.WithOps(*ops),
+		experiments.WithSeeds(*seeds),
+		experiments.WithParallelism(*parallel),
+		experiments.WithConfig(func() sim.Config {
+			cfg := sim.Default()
+			cfg.DataBytes = uint64(*dataMB) << 20
+			cfg.MetaCache.SizeBytes = 256 << 10
+			return cfg
+		}),
+	}
+	if *progress {
+		ropts = append(ropts, experiments.WithProgress(func(p experiments.Progress) {
+			cell := p.Cell.Workload + "/" + p.Cell.Scheme
+			if p.Cell.Label != "" {
+				cell += " " + p.Cell.Label
+			}
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %s %.1fs (elapsed %.1fs, eta %.1fs)\n",
+				p.Done, p.Total, cell, p.CellWall.Seconds(), p.Elapsed.Seconds(), p.ETA.Seconds())
+		}))
 	}
 
-	rep, err := shapes.Evaluate(o)
+	rep, err := shapes.EvaluateCtx(ctx, experiments.NewRunner(ropts...))
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "starreport: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "starreport:", err)
 		os.Exit(1)
 	}

@@ -1,23 +1,31 @@
 // Package experiments regenerates every table and figure of the
-// paper's evaluation (Section IV): each function runs the relevant
-// workload × scheme matrix on the simulated machine and returns the
-// rows the paper plots. The benchmark harness (bench_test.go) and the
-// starbench CLI are thin wrappers around these functions.
+// paper's evaluation (Section IV): the Runner fans the relevant
+// workload × scheme × seed matrix out over a bounded worker pool (each
+// cell on its own sim.Machine, so results are bit-identical to a
+// sequential sweep) and returns the rows the paper plots. The
+// benchmark harness (bench_test.go) and the starbench CLI are thin
+// wrappers around the Runner's sweep methods; the package-level
+// functions taking an Options value are the deprecated sequential-era
+// entry points, kept as shims over the Runner.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
-	"nvmstar/internal/bitmap"
-	"nvmstar/internal/cache"
-	"nvmstar/internal/schemes/star"
 	"nvmstar/internal/sim"
 	"nvmstar/internal/workload"
 )
 
 // Options scales the experiment runs.
+//
+// Deprecated: Options is the legacy method-bag configuration. New code
+// should build a Runner with NewRunner(WithOps(...), WithSeeds(...),
+// WithWorkloads(...), WithConfig(...), WithParallelism(...)) and call
+// its context-aware sweep methods; the package-level functions below
+// remain as mechanical shims.
 type Options struct {
 	// Ops is the number of measured operations per workload run.
 	Ops int
@@ -34,114 +42,16 @@ type Options struct {
 
 // DefaultOptions returns a configuration sized so the full evaluation
 // completes in minutes on a laptop.
+//
+// Deprecated: use NewRunner(), whose zero-option form is equivalent.
 func DefaultOptions() Options {
 	return Options{Ops: 20000}
 }
 
-func (o Options) config() sim.Config {
-	if o.Config != nil {
-		return o.Config()
-	}
-	cfg := sim.Default()
-	cfg.DataBytes = 64 << 20
-	cfg.L3 = cache.Config{SizeBytes: 1 << 20, Ways: 8}
-	cfg.MetaCache = cache.Config{SizeBytes: 256 << 10, Ways: 8}
-	return cfg
-}
-
-func (o Options) workloads() []string {
-	if len(o.Workloads) > 0 {
-		return o.Workloads
-	}
-	return workload.Names()
-}
-
-func (o Options) ops(scheme string) int {
-	if scheme == "strict" {
-		// Strict persistence is ~tree-height times slower by design;
-		// a shorter run keeps the sweep tractable without changing
-		// per-op ratios.
-		return o.Ops / 4
-	}
-	return o.Ops
-}
-
-// run executes one (workload, scheme) cell. With Seeds > 1 the
-// returned Results carries seed-averaged counters (the machine is the
-// last seed's).
-func (o Options) run(name, scheme string) (*sim.Results, *sim.Machine, error) {
-	seeds := o.Seeds
-	if seeds <= 0 {
-		seeds = 1
-	}
-	var acc *sim.Results
-	var lastM *sim.Machine
-	for s := 0; s < seeds; s++ {
-		cfg := o.config()
-		cfg.Scheme = scheme
-		cfg.Seed += uint64(s) * 7919
-		res, m, err := sim.RunScenario(cfg, name, o.ops(scheme))
-		if err != nil {
-			return nil, nil, err
-		}
-		lastM = m
-		if acc == nil {
-			acc = res
-			continue
-		}
-		acc.Instructions += res.Instructions
-		acc.TimeNs += res.TimeNs
-		acc.Cycles += res.Cycles
-		acc.IPC += res.IPC
-		acc.Dev.Reads += res.Dev.Reads
-		acc.Dev.Writes += res.Dev.Writes
-		acc.Dev.ReadEnergy += res.Dev.ReadEnergy
-		acc.Dev.WriteEnergy += res.Dev.WriteEnergy
-		acc.DirtyMetaLines += res.DirtyMetaLines
-		acc.DirtyMetaFrac += res.DirtyMetaFrac
-		if acc.Bitmap != nil && res.Bitmap != nil {
-			sum := *acc.Bitmap
-			sum.L1.Accesses += res.Bitmap.L1.Accesses
-			sum.L1.Hits += res.Bitmap.L1.Hits
-			sum.L1.Misses += res.Bitmap.L1.Misses
-			sum.L1.Evicts += res.Bitmap.L1.Evicts
-			sum.L1.Fills += res.Bitmap.L1.Fills
-			sum.L2.Accesses += res.Bitmap.L2.Accesses
-			sum.L2.Hits += res.Bitmap.L2.Hits
-			sum.L2.Misses += res.Bitmap.L2.Misses
-			sum.L2.Evicts += res.Bitmap.L2.Evicts
-			sum.L2.Fills += res.Bitmap.L2.Fills
-			acc.Bitmap = &sum
-		}
-	}
-	if seeds > 1 {
-		n := uint64(seeds)
-		fn := float64(seeds)
-		acc.Instructions /= n
-		acc.TimeNs /= fn
-		acc.Cycles /= fn
-		acc.IPC /= fn
-		acc.Dev.Reads /= n
-		acc.Dev.Writes /= n
-		acc.Dev.ReadEnergy /= fn
-		acc.Dev.WriteEnergy /= fn
-		acc.DirtyMetaLines /= seeds
-		acc.DirtyMetaFrac /= fn
-		if acc.Bitmap != nil {
-			acc.Bitmap.L1.Accesses /= n
-			acc.Bitmap.L1.Hits /= n
-			acc.Bitmap.L1.Misses /= n
-			acc.Bitmap.L1.Evicts /= n
-			acc.Bitmap.L1.Fills /= n
-			acc.Bitmap.L2.Accesses /= n
-			acc.Bitmap.L2.Hits /= n
-			acc.Bitmap.L2.Misses /= n
-			acc.Bitmap.L2.Evicts /= n
-			acc.Bitmap.L2.Fills /= n
-		}
-	}
-	return acc, lastM, nil
-}
+// runner bridges the legacy Options shims onto the Runner API. The
+// pool width stays at the default (GOMAXPROCS); per-cell results are
+// bit-identical to the historical sequential execution.
+func (o Options) runner() *Runner { return NewRunner(WithOptions(o)) }
 
 // --- Fig. 10: bitmap-line writes vs WB writes ---------------------------
 
@@ -157,31 +67,10 @@ type Fig10Row struct {
 // Fig10 measures how rarely STAR's bitmap lines reach NVM compared
 // with the baseline's ordinary writes (the paper reports WB issuing
 // 461x more writes than bitmap-line writes on average).
+//
+// Deprecated: use NewRunner(WithOptions(o)).Fig10(ctx).
 func Fig10(o Options) ([]Fig10Row, error) {
-	var rows []Fig10Row
-	for _, name := range o.workloads() {
-		wbRes, _, err := o.run(name, "wb")
-		if err != nil {
-			return nil, err
-		}
-		starRes, _, err := o.run(name, "star")
-		if err != nil {
-			return nil, err
-		}
-		row := Fig10Row{
-			Workload:     name,
-			WBWrites:     wbRes.Dev.Writes,
-			BitmapWrites: starRes.Bitmap.NVMWrites(),
-			BitmapReads:  starRes.Bitmap.NVMReads(),
-		}
-		denom := row.BitmapWrites
-		if denom == 0 {
-			denom = 1
-		}
-		row.Ratio = float64(row.WBWrites) / float64(denom)
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return o.runner().Fig10(context.Background())
 }
 
 // --- Fig. 11-13: write traffic, IPC, energy per scheme -------------------
@@ -202,38 +91,10 @@ type SchemeRow struct {
 
 // SchemeComparison runs the workload x scheme matrix behind
 // Figs. 11, 12 and 13.
+//
+// Deprecated: use NewRunner(WithOptions(o)).SchemeComparison(ctx, schemes).
 func SchemeComparison(o Options, schemes []string) ([]SchemeRow, error) {
-	if len(schemes) == 0 {
-		schemes = []string{"wb", "star", "anubis", "strict"}
-	}
-	var rows []SchemeRow
-	for _, name := range o.workloads() {
-		var base SchemeRow
-		for _, scheme := range schemes {
-			res, _, err := o.run(name, scheme)
-			if err != nil {
-				return nil, err
-			}
-			ops := float64(res.Ops)
-			row := SchemeRow{
-				Workload:    name,
-				Scheme:      scheme,
-				WritesPerOp: float64(res.Dev.Writes) / ops,
-				IPC:         res.IPC,
-				EnergyPerOp: res.EnergyPJ() / ops,
-			}
-			if scheme == "wb" {
-				base = row
-			}
-			if base.WritesPerOp > 0 {
-				row.WriteRatio = row.WritesPerOp / base.WritesPerOp
-				row.IPCRatio = row.IPC / base.IPC
-				row.EnergyRatio = row.EnergyPerOp / base.EnergyPerOp
-			}
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+	return o.runner().SchemeComparison(context.Background(), schemes)
 }
 
 // --- Table II: ADR bitmap-line hit ratio ---------------------------------
@@ -247,34 +108,10 @@ type Table2Row struct {
 
 // Table2 sweeps the number of bitmap lines held in ADR (2, 4, 8, 16,
 // 32) and reports the average hit ratio, as in Table II.
+//
+// Deprecated: use NewRunner(WithOptions(o)).Table2(ctx, lineCounts).
 func Table2(o Options, lineCounts []int) ([]Table2Row, error) {
-	if len(lineCounts) == 0 {
-		lineCounts = []int{2, 4, 8, 16, 32}
-	}
-	var rows []Table2Row
-	for _, lines := range lineCounts {
-		l2 := lines / 8
-		if l2 == 0 {
-			l2 = 1
-		}
-		row := Table2Row{ADRLines: lines, PerWorkload: make(map[string]float64)}
-		var sum float64
-		for _, name := range o.workloads() {
-			cfg := o.config()
-			cfg.Scheme = "star"
-			cfg.Bitmap = bitmap.Config{ADRL1Lines: lines - l2, ADRL2Lines: l2}
-			res, _, err := sim.RunScenario(cfg, name, o.ops("star"))
-			if err != nil {
-				return nil, err
-			}
-			hr := res.Bitmap.HitRatio()
-			row.PerWorkload[name] = hr
-			sum += hr
-		}
-		row.HitRatio = sum / float64(len(o.workloads()))
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return o.runner().Table2(context.Background(), lineCounts)
 }
 
 // --- Fig. 14a: dirty metadata fraction -----------------------------------
@@ -288,16 +125,10 @@ type Fig14aRow struct {
 // Fig14a measures the fraction of the metadata cache that is dirty at
 // the end of a run — the stale metadata a crash would leave behind
 // (the paper reports ~78% on average).
+//
+// Deprecated: use NewRunner(WithOptions(o)).Fig14a(ctx).
 func Fig14a(o Options) ([]Fig14aRow, error) {
-	var rows []Fig14aRow
-	for _, name := range o.workloads() {
-		res, _, err := o.run(name, "star")
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig14aRow{Workload: name, DirtyFrac: res.DirtyMetaFrac})
-	}
-	return rows, nil
+	return o.runner().Fig14a(context.Background())
 }
 
 // --- Fig. 14b: recovery time vs metadata cache size ----------------------
@@ -314,39 +145,10 @@ type Fig14bRow struct {
 // time (100 ns per line access) for STAR and Anubis after a crash at
 // the end of a hash run (the paper's Fig. 14b shape: both linear in
 // cache size, STAR ~2.5x Anubis, both well under a second).
+//
+// Deprecated: use NewRunner(WithOptions(o)).Fig14b(ctx, cacheSizes).
 func Fig14b(o Options, cacheSizes []int) ([]Fig14bRow, error) {
-	if len(cacheSizes) == 0 {
-		cacheSizes = []int{128 << 10, 256 << 10, 512 << 10, 1 << 20}
-	}
-	var rows []Fig14bRow
-	for _, size := range cacheSizes {
-		row := Fig14bRow{MetaCacheBytes: size}
-		for _, scheme := range []string{"star", "anubis"} {
-			cfg := o.config()
-			cfg.Scheme = scheme
-			cfg.MetaCache = cache.Config{SizeBytes: size, Ways: 8}
-			m, err := sim.NewMachine(cfg)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := m.RunUnverified("hash", o.ops(scheme)); err != nil {
-				return nil, err
-			}
-			m.Crash()
-			rep, err := m.Recover()
-			if err != nil {
-				return nil, err
-			}
-			if scheme == "star" {
-				row.StarSeconds = rep.TimeSeconds()
-				row.StaleNodes = rep.StaleNodes
-			} else {
-				row.AnubisSeconds = rep.TimeSeconds()
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return o.runner().Fig14b(context.Background(), cacheSizes)
 }
 
 // --- ablations ------------------------------------------------------------
@@ -363,52 +165,10 @@ type AblationIndexRow struct {
 
 // AblationIndex quantifies the multi-layer index (Section III-D): the
 // same recovery with a flat scan of every L1 bitmap line in the RA.
+//
+// Deprecated: use NewRunner(WithOptions(o)).AblationIndex(ctx).
 func AblationIndex(o Options) ([]AblationIndexRow, error) {
-	var rows []AblationIndexRow
-	for _, name := range o.workloads() {
-		measure := func(flat bool) (uint64, float64, error) {
-			cfg := o.config()
-			cfg.Scheme = "star"
-			m, err := sim.NewMachine(cfg)
-			if err != nil {
-				return 0, 0, err
-			}
-			if _, err := m.RunUnverified(name, o.ops("star")); err != nil {
-				return 0, 0, err
-			}
-			m.Crash()
-			s := m.Engine().Scheme().(*star.Scheme)
-			var rep interface {
-				TimeSeconds() float64
-			}
-			if flat {
-				r, err := s.RecoverFlatScan()
-				if err != nil {
-					return 0, 0, err
-				}
-				rep = r
-				return r.IndexReads, rep.TimeSeconds(), nil
-			}
-			r, err := s.Recover()
-			if err != nil {
-				return 0, 0, err
-			}
-			return r.IndexReads, r.TimeSeconds(), nil
-		}
-		idxReads, idxSecs, err := measure(false)
-		if err != nil {
-			return nil, err
-		}
-		flatReads, flatSecs, err := measure(true)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationIndexRow{
-			Workload: name, IndexedReads: idxReads, FlatReads: flatReads,
-			IndexedSecs: idxSecs, FlatSecs: flatSecs,
-		})
-	}
-	return rows, nil
+	return o.runner().AblationIndex(context.Background())
 }
 
 // --- formatting ------------------------------------------------------------

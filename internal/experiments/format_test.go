@@ -60,14 +60,15 @@ func TestDefaultOptions(t *testing.T) {
 	if o.Ops <= 0 {
 		t.Fatal("default ops not positive")
 	}
-	if got := o.workloads(); len(got) != 7 {
+	r := o.runner()
+	if got := r.workloadList(); len(got) != 7 {
 		t.Fatalf("default workloads = %v", got)
 	}
-	cfg := o.config()
+	cfg := r.cfg()
 	if cfg.DataBytes == 0 || cfg.MetaCache.SizeBytes == 0 {
 		t.Fatal("default config incomplete")
 	}
-	if o.ops("strict") >= o.ops("star") {
+	if r.opsFor("strict") >= r.opsFor("star") {
 		t.Fatal("strict runs should be shortened")
 	}
 }

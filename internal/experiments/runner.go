@@ -1,0 +1,689 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"nvmstar/internal/bitmap"
+	"nvmstar/internal/cache"
+	"nvmstar/internal/schemes/star"
+	"nvmstar/internal/sim"
+	"nvmstar/internal/workload"
+)
+
+// Runner executes the evaluation's (workload, scheme, seed) cell
+// matrix over a bounded worker pool. The cells of the paper's sweeps
+// are fully independent deterministic simulator runs, so the matrix
+// parallelizes perfectly: every worker constructs its own sim.Machine,
+// preserving the simulator's single-goroutine invariant per cell, and
+// every result lands in a slot fixed by its cell index — output is
+// bit-identical to a sequential sweep regardless of scheduling.
+type Runner struct {
+	ops       int
+	seeds     int
+	workloads []string
+	config    func() sim.Config
+	parallel  int
+	progress  func(Progress)
+}
+
+// Option configures a Runner (functional options).
+type Option func(*Runner)
+
+// WithOps sets the number of measured operations per workload run
+// (default 20000, matching DefaultOptions).
+func WithOps(n int) Option { return func(r *Runner) { r.ops = n } }
+
+// WithSeeds averages every seed-averaged cell over n PRNG seeds
+// (default 1). The simulator is deterministic per seed; multiple seeds
+// estimate workload-randomness sensitivity.
+func WithSeeds(n int) Option { return func(r *Runner) { r.seeds = n } }
+
+// WithWorkloads restricts the workload set; with no names, all seven
+// paper workloads run.
+func WithWorkloads(names ...string) Option {
+	return func(r *Runner) {
+		if len(names) > 0 {
+			r.workloads = names
+		}
+	}
+}
+
+// WithConfig supplies a fresh machine configuration per cell; nil uses
+// the evaluation default (64 MiB data, 1 MiB L3, 256 KiB metadata
+// cache). The function is called from worker goroutines and must be
+// safe for concurrent use (returning a fresh value each call is
+// enough).
+func WithConfig(fn func() sim.Config) Option { return func(r *Runner) { r.config = fn } }
+
+// WithParallelism bounds the worker pool to n concurrent cells;
+// n <= 0 means runtime.GOMAXPROCS(0). WithParallelism(1) reproduces
+// the historical sequential execution order exactly.
+func WithParallelism(n int) Option { return func(r *Runner) { r.parallel = n } }
+
+// WithProgress registers a callback invoked after every completed
+// cell, in completion order, with live done/total, per-cell wall time
+// and an ETA. The callback runs with the pool's bookkeeping lock held,
+// so completions are reported in a consistent, monotonic order; keep
+// it short (printing a line is the intended use).
+func WithProgress(fn func(Progress)) Option { return func(r *Runner) { r.progress = fn } }
+
+// WithOptions imports a legacy Options value — the bridge the
+// deprecated package-level entry points use.
+func WithOptions(o Options) Option {
+	return func(r *Runner) {
+		if o.Ops != 0 {
+			r.ops = o.Ops
+		}
+		if o.Seeds != 0 {
+			r.seeds = o.Seeds
+		}
+		if len(o.Workloads) > 0 {
+			r.workloads = o.Workloads
+		}
+		if o.Config != nil {
+			r.config = o.Config
+		}
+	}
+}
+
+// NewRunner builds a Runner; the zero-option form matches
+// DefaultOptions with a GOMAXPROCS-wide worker pool.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{ops: 20000, seeds: 1}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.ops <= 0 {
+		r.ops = 20000
+	}
+	if r.seeds <= 0 {
+		r.seeds = 1
+	}
+	if r.parallel <= 0 {
+		r.parallel = runtime.GOMAXPROCS(0)
+	}
+	return r
+}
+
+// Parallelism returns the worker-pool bound.
+func (r *Runner) Parallelism() int { return r.parallel }
+
+// Cell identifies one simulator run of the evaluation matrix.
+type Cell struct {
+	Workload string
+	Scheme   string
+	// Seed is the seed index within the sweep (0-based); the PRNG seed
+	// is the configuration's base seed offset by Seed*7919.
+	Seed int
+	// Label optionally annotates non-matrix sweeps (e.g. "adr=16") for
+	// progress output.
+	Label string
+}
+
+// CellResult is one completed cell: its identity, the measured
+// results (nil if the cell failed or never ran) and the error if any.
+type CellResult struct {
+	Cell
+	Results *sim.Results
+	Err     error
+	Wall    time.Duration // wall-clock time this cell took
+}
+
+// Progress reports one completed cell of a sweep.
+type Progress struct {
+	Done  int  // cells completed so far, including this one
+	Total int  // cells in the sweep
+	Cell  Cell // the cell that just completed
+	Err   error
+
+	CellWall time.Duration // wall time of this cell
+	Elapsed  time.Duration // wall time since the sweep started
+	ETA      time.Duration // estimated time to sweep completion (0 when done)
+}
+
+// Matrix expands workloads x schemes x the runner's seed count into
+// cells in deterministic (workload-major) order. Empty workloads means
+// the runner's workload set; empty schemes defaults to the paper's
+// four-scheme evaluation set.
+func (r *Runner) Matrix(workloads, schemes []string) []Cell {
+	if len(workloads) == 0 {
+		workloads = r.workloadList()
+	}
+	if len(schemes) == 0 {
+		schemes = []string{"wb", "star", "anubis", "strict"}
+	}
+	var cells []Cell
+	for _, w := range workloads {
+		for _, s := range schemes {
+			for seed := 0; seed < r.seeds; seed++ {
+				cells = append(cells, Cell{Workload: w, Scheme: s, Seed: seed})
+			}
+		}
+	}
+	return cells
+}
+
+// Run executes every cell over the worker pool and returns results in
+// cell order (slot i belongs to cells[i]). A cell's simulation error
+// is recorded in its CellResult and does not abort the sweep; only
+// context cancellation does, in which case the returned error is
+// ctx.Err() and unreached cells have nil Results and a nil Err.
+func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]CellResult, len(cells))
+	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+		start := time.Now()
+		res, runErr := r.runSeed(ctx, cells[i])
+		out[i] = CellResult{Cell: cells[i], Results: res, Err: runErr, Wall: time.Since(start)}
+		if runErr != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Stream is Run delivering each CellResult as it completes (completion
+// order, not cell order). The channel closes when the sweep finishes
+// or the context is canceled.
+func (r *Runner) Stream(ctx context.Context, cells []Cell) <-chan CellResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ch := make(chan CellResult)
+	go func() {
+		defer close(ch)
+		r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+			start := time.Now()
+			res, runErr := r.runSeed(ctx, cells[i])
+			cr := CellResult{Cell: cells[i], Results: res, Err: runErr, Wall: time.Since(start)}
+			select {
+			case ch <- cr:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if runErr != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return nil
+		})
+	}()
+	return ch
+}
+
+// --- pool ----------------------------------------------------------------
+
+// forEach runs job(i) for every cell over at most r.parallel workers.
+// cells is used only to label progress reports; each job owns slot i
+// of whatever output it writes, which keeps assembled output
+// deterministic. The first non-nil job error cancels the remaining
+// cells and is returned; otherwise the (possibly canceled) context's
+// error is.
+func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx context.Context, i int) error) error {
+	if len(cells) == 0 {
+		return parent.Err()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	workers := r.parallel
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		start    = time.Now()
+	)
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range cells {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cellStart := time.Now()
+				err := job(ctx, i)
+
+				mu.Lock()
+				done++
+				if err != nil && firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				if r.progress != nil {
+					p := Progress{
+						Done: done, Total: len(cells), Cell: cells[i], Err: err,
+						CellWall: time.Since(cellStart), Elapsed: time.Since(start),
+					}
+					if done < len(cells) {
+						p.ETA = time.Duration(float64(p.Elapsed) / float64(done) * float64(len(cells)-done))
+					}
+					r.progress(p)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return parent.Err()
+}
+
+// --- cell execution ------------------------------------------------------
+
+func (r *Runner) cfg() sim.Config {
+	if r.config != nil {
+		return r.config()
+	}
+	cfg := sim.Default()
+	cfg.DataBytes = 64 << 20
+	cfg.L3 = cache.Config{SizeBytes: 1 << 20, Ways: 8}
+	cfg.MetaCache = cache.Config{SizeBytes: 256 << 10, Ways: 8}
+	return cfg
+}
+
+func (r *Runner) workloadList() []string {
+	if len(r.workloads) > 0 {
+		return r.workloads
+	}
+	return workload.Names()
+}
+
+func (r *Runner) opsFor(scheme string) int {
+	if scheme == "strict" {
+		// Strict persistence is ~tree-height times slower by design;
+		// a shorter run keeps the sweep tractable without changing
+		// per-op ratios.
+		return r.ops / 4
+	}
+	return r.ops
+}
+
+// runSeed executes one single-seed cell.
+func (r *Runner) runSeed(ctx context.Context, c Cell) (*sim.Results, error) {
+	cfg := r.cfg()
+	cfg.Scheme = c.Scheme
+	cfg.Seed += uint64(c.Seed) * 7919
+	res, _, err := sim.RunScenarioCtx(ctx, cfg, c.Workload, r.opsFor(c.Scheme))
+	return res, err
+}
+
+// runAveraged executes one (workload, scheme) cell, averaging its
+// counters over the runner's seed count exactly as the legacy
+// sequential path did (seed loop inside the cell, identical
+// accumulation order), so seed-averaged values stay bit-identical.
+func (r *Runner) runAveraged(ctx context.Context, name, scheme string) (*sim.Results, *sim.Machine, error) {
+	var acc *sim.Results
+	var lastM *sim.Machine
+	for s := 0; s < r.seeds; s++ {
+		cfg := r.cfg()
+		cfg.Scheme = scheme
+		cfg.Seed += uint64(s) * 7919
+		res, m, err := sim.RunScenarioCtx(ctx, cfg, name, r.opsFor(scheme))
+		if err != nil {
+			return nil, nil, err
+		}
+		lastM = m
+		if acc == nil {
+			acc = res
+			continue
+		}
+		acc.Instructions += res.Instructions
+		acc.TimeNs += res.TimeNs
+		acc.Cycles += res.Cycles
+		acc.IPC += res.IPC
+		acc.Dev.Reads += res.Dev.Reads
+		acc.Dev.Writes += res.Dev.Writes
+		acc.Dev.ReadEnergy += res.Dev.ReadEnergy
+		acc.Dev.WriteEnergy += res.Dev.WriteEnergy
+		acc.DirtyMetaLines += res.DirtyMetaLines
+		acc.DirtyMetaFrac += res.DirtyMetaFrac
+		if acc.Bitmap != nil && res.Bitmap != nil {
+			sum := *acc.Bitmap
+			sum.L1.Accesses += res.Bitmap.L1.Accesses
+			sum.L1.Hits += res.Bitmap.L1.Hits
+			sum.L1.Misses += res.Bitmap.L1.Misses
+			sum.L1.Evicts += res.Bitmap.L1.Evicts
+			sum.L1.Fills += res.Bitmap.L1.Fills
+			sum.L2.Accesses += res.Bitmap.L2.Accesses
+			sum.L2.Hits += res.Bitmap.L2.Hits
+			sum.L2.Misses += res.Bitmap.L2.Misses
+			sum.L2.Evicts += res.Bitmap.L2.Evicts
+			sum.L2.Fills += res.Bitmap.L2.Fills
+			acc.Bitmap = &sum
+		}
+	}
+	if r.seeds > 1 {
+		n := uint64(r.seeds)
+		fn := float64(r.seeds)
+		acc.Instructions /= n
+		acc.TimeNs /= fn
+		acc.Cycles /= fn
+		acc.IPC /= fn
+		acc.Dev.Reads /= n
+		acc.Dev.Writes /= n
+		acc.Dev.ReadEnergy /= fn
+		acc.Dev.WriteEnergy /= fn
+		acc.DirtyMetaLines /= r.seeds
+		acc.DirtyMetaFrac /= fn
+		if acc.Bitmap != nil {
+			acc.Bitmap.L1.Accesses /= n
+			acc.Bitmap.L1.Hits /= n
+			acc.Bitmap.L1.Misses /= n
+			acc.Bitmap.L1.Evicts /= n
+			acc.Bitmap.L1.Fills /= n
+			acc.Bitmap.L2.Accesses /= n
+			acc.Bitmap.L2.Hits /= n
+			acc.Bitmap.L2.Misses /= n
+			acc.Bitmap.L2.Evicts /= n
+			acc.Bitmap.L2.Fills /= n
+		}
+	}
+	return acc, lastM, nil
+}
+
+// --- figure sweeps -------------------------------------------------------
+
+// Fig10 measures how rarely STAR's bitmap lines reach NVM compared
+// with the baseline's ordinary writes; the per-workload (wb, star)
+// pairs fan out over the pool.
+func (r *Runner) Fig10(ctx context.Context) ([]Fig10Row, error) {
+	workloads := r.workloadList()
+	schemes := []string{"wb", "star"}
+	var cells []Cell
+	for _, name := range workloads {
+		for _, scheme := range schemes {
+			cells = append(cells, Cell{Workload: name, Scheme: scheme})
+		}
+	}
+	results := make([]*sim.Results, len(cells))
+	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+		res, _, err := r.runAveraged(ctx, cells[i].Workload, cells[i].Scheme)
+		results[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10Row
+	for w, name := range workloads {
+		wbRes, starRes := results[w*2], results[w*2+1]
+		row := Fig10Row{
+			Workload:     name,
+			WBWrites:     wbRes.Dev.Writes,
+			BitmapWrites: starRes.Bitmap.NVMWrites(),
+			BitmapReads:  starRes.Bitmap.NVMReads(),
+		}
+		denom := row.BitmapWrites
+		if denom == 0 {
+			denom = 1
+		}
+		row.Ratio = float64(row.WBWrites) / float64(denom)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SchemeComparison runs the workload x scheme matrix behind Figs. 11,
+// 12 and 13 over the pool and assembles rows in workload-major order,
+// normalized to the WB baseline of the same workload.
+func (r *Runner) SchemeComparison(ctx context.Context, schemes []string) ([]SchemeRow, error) {
+	if len(schemes) == 0 {
+		schemes = []string{"wb", "star", "anubis", "strict"}
+	}
+	workloads := r.workloadList()
+	var cells []Cell
+	for _, name := range workloads {
+		for _, scheme := range schemes {
+			cells = append(cells, Cell{Workload: name, Scheme: scheme})
+		}
+	}
+	results := make([]*sim.Results, len(cells))
+	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+		res, _, err := r.runAveraged(ctx, cells[i].Workload, cells[i].Scheme)
+		results[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SchemeRow
+	for w, name := range workloads {
+		var base SchemeRow
+		for s, scheme := range schemes {
+			res := results[w*len(schemes)+s]
+			ops := float64(res.Ops)
+			row := SchemeRow{
+				Workload:    name,
+				Scheme:      scheme,
+				WritesPerOp: float64(res.Dev.Writes) / ops,
+				IPC:         res.IPC,
+				EnergyPerOp: res.EnergyPJ() / ops,
+			}
+			if scheme == "wb" {
+				base = row
+			}
+			if base.WritesPerOp > 0 {
+				row.WriteRatio = row.WritesPerOp / base.WritesPerOp
+				row.IPCRatio = row.IPC / base.IPC
+				row.EnergyRatio = row.EnergyPerOp / base.EnergyPerOp
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table2 sweeps the number of bitmap lines held in ADR and reports the
+// average hit ratio, as in Table II; every (lines, workload) point is
+// one pool cell.
+func (r *Runner) Table2(ctx context.Context, lineCounts []int) ([]Table2Row, error) {
+	if len(lineCounts) == 0 {
+		lineCounts = []int{2, 4, 8, 16, 32}
+	}
+	workloads := r.workloadList()
+	type point struct {
+		lines int
+		l2    int
+	}
+	points := make([]point, len(lineCounts))
+	var cells []Cell
+	for i, lines := range lineCounts {
+		l2 := lines / 8
+		if l2 == 0 {
+			l2 = 1
+		}
+		points[i] = point{lines: lines, l2: l2}
+		for _, name := range workloads {
+			cells = append(cells, Cell{Workload: name, Scheme: "star", Label: fmt.Sprintf("adr=%d", lines)})
+		}
+	}
+	ratios := make([]float64, len(cells))
+	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+		p := points[i/len(workloads)]
+		cfg := r.cfg()
+		cfg.Scheme = "star"
+		cfg.Bitmap = bitmap.Config{ADRL1Lines: p.lines - p.l2, ADRL2Lines: p.l2}
+		res, _, err := sim.RunScenarioCtx(ctx, cfg, cells[i].Workload, r.opsFor("star"))
+		if err != nil {
+			return err
+		}
+		ratios[i] = res.Bitmap.HitRatio()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for pi, p := range points {
+		row := Table2Row{ADRLines: p.lines, PerWorkload: make(map[string]float64)}
+		var sum float64
+		for wi, name := range workloads {
+			hr := ratios[pi*len(workloads)+wi]
+			row.PerWorkload[name] = hr
+			sum += hr
+		}
+		row.HitRatio = sum / float64(len(workloads))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig14a measures the fraction of the metadata cache that is dirty at
+// the end of a run — the stale metadata a crash would leave behind.
+func (r *Runner) Fig14a(ctx context.Context) ([]Fig14aRow, error) {
+	workloads := r.workloadList()
+	cells := make([]Cell, len(workloads))
+	for i, name := range workloads {
+		cells[i] = Cell{Workload: name, Scheme: "star"}
+	}
+	rows := make([]Fig14aRow, len(cells))
+	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+		res, _, err := r.runAveraged(ctx, cells[i].Workload, "star")
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig14aRow{Workload: cells[i].Workload, DirtyFrac: res.DirtyMetaFrac}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Fig14b sweeps the metadata cache size and measures modeled recovery
+// time for STAR and Anubis after a crash at the end of a hash run;
+// every (size, scheme) point is one pool cell.
+func (r *Runner) Fig14b(ctx context.Context, cacheSizes []int) ([]Fig14bRow, error) {
+	if len(cacheSizes) == 0 {
+		cacheSizes = []int{128 << 10, 256 << 10, 512 << 10, 1 << 20}
+	}
+	schemes := []string{"star", "anubis"}
+	var cells []Cell
+	for _, size := range cacheSizes {
+		for _, scheme := range schemes {
+			cells = append(cells, Cell{Workload: "hash", Scheme: scheme, Label: fmt.Sprintf("meta-kb=%d", size>>10)})
+		}
+	}
+	type rec struct {
+		seconds float64
+		stale   int
+	}
+	recs := make([]rec, len(cells))
+	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+		size := cacheSizes[i/len(schemes)]
+		scheme := schemes[i%len(schemes)]
+		cfg := r.cfg()
+		cfg.Scheme = scheme
+		cfg.MetaCache = cache.Config{SizeBytes: size, Ways: 8}
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := m.RunUnverifiedCtx(ctx, "hash", r.opsFor(scheme)); err != nil {
+			return err
+		}
+		m.Crash()
+		rep, err := m.Recover()
+		if err != nil {
+			return err
+		}
+		recs[i] = rec{seconds: rep.TimeSeconds(), stale: rep.StaleNodes}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig14bRow
+	for si, size := range cacheSizes {
+		row := Fig14bRow{MetaCacheBytes: size}
+		row.StarSeconds = recs[si*2].seconds
+		row.StaleNodes = recs[si*2].stale
+		row.AnubisSeconds = recs[si*2+1].seconds
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationIndex quantifies the multi-layer index (Section III-D): the
+// same recovery with a flat scan of every L1 bitmap line in the RA.
+// Every (workload, indexed|flat) pair is one pool cell.
+func (r *Runner) AblationIndex(ctx context.Context) ([]AblationIndexRow, error) {
+	workloads := r.workloadList()
+	var cells []Cell
+	for _, name := range workloads {
+		cells = append(cells,
+			Cell{Workload: name, Scheme: "star", Label: "indexed"},
+			Cell{Workload: name, Scheme: "star", Label: "flat"})
+	}
+	type rec struct {
+		reads uint64
+		secs  float64
+	}
+	recs := make([]rec, len(cells))
+	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+		flat := i%2 == 1
+		cfg := r.cfg()
+		cfg.Scheme = "star"
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := m.RunUnverifiedCtx(ctx, cells[i].Workload, r.opsFor("star")); err != nil {
+			return err
+		}
+		m.Crash()
+		s := m.Engine().Scheme().(*star.Scheme)
+		if flat {
+			rep, err := s.RecoverFlatScan()
+			if err != nil {
+				return err
+			}
+			recs[i] = rec{reads: rep.IndexReads, secs: rep.TimeSeconds()}
+			return nil
+		}
+		rep, err := s.Recover()
+		if err != nil {
+			return err
+		}
+		recs[i] = rec{reads: rep.IndexReads, secs: rep.TimeSeconds()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationIndexRow
+	for w, name := range workloads {
+		rows = append(rows, AblationIndexRow{
+			Workload:     name,
+			IndexedReads: recs[w*2].reads,
+			FlatReads:    recs[w*2+1].reads,
+			IndexedSecs:  recs[w*2].secs,
+			FlatSecs:     recs[w*2+1].secs,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nvmstar/internal/cache"
+	"nvmstar/internal/sim"
+)
+
+// fastRunner mirrors fastOpts as functional options, plus the given
+// pool width.
+func fastRunner(parallel int, extra ...Option) *Runner {
+	opts := append([]Option{
+		WithOps(1200),
+		WithWorkloads("array", "queue"),
+		WithConfig(func() sim.Config {
+			cfg := sim.Default()
+			cfg.Cores = 4
+			cfg.DataBytes = 16 << 20
+			cfg.L1 = cache.Config{SizeBytes: 8 << 10, Ways: 2}
+			cfg.L2 = cache.Config{SizeBytes: 32 << 10, Ways: 8}
+			cfg.L3 = cache.Config{SizeBytes: 128 << 10, Ways: 8}
+			cfg.MetaCache = cache.Config{SizeBytes: 64 << 10, Ways: 8}
+			return cfg
+		}),
+		WithParallelism(parallel),
+	}, extra...)
+	return NewRunner(opts...)
+}
+
+// TestRunnerDeterminism is the golden test of the machine-isolation
+// invariant: a 4-worker sweep must produce bit-identical per-cell
+// sim.Results to the sequential path, both for the raw cell stream and
+// for every assembled figure.
+func TestRunnerDeterminism(t *testing.T) {
+	ctx := context.Background()
+	seq := fastRunner(1)
+	par := fastRunner(4)
+
+	cells := seq.Matrix(nil, []string{"wb", "star", "anubis"})
+	if len(cells) != 6 {
+		t.Fatalf("matrix = %d cells", len(cells))
+	}
+	seqRes, err := seq.Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := par.Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if seqRes[i].Err != nil || parRes[i].Err != nil {
+			t.Fatalf("cell %v error: %v / %v", cells[i], seqRes[i].Err, parRes[i].Err)
+		}
+		if !reflect.DeepEqual(seqRes[i].Results, parRes[i].Results) {
+			t.Errorf("cell %v: parallel results differ from sequential:\nseq: %+v\npar: %+v",
+				cells[i], seqRes[i].Results, parRes[i].Results)
+		}
+	}
+
+	seqRows, err := seq.SchemeComparison(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRows, err := par.SchemeComparison(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRows, parRows) {
+		t.Errorf("SchemeComparison differs:\nseq: %+v\npar: %+v", seqRows, parRows)
+	}
+
+	seq10, err := seq.Fig10(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par10, err := par.Fig10(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq10, par10) {
+		t.Errorf("Fig10 differs:\nseq: %+v\npar: %+v", seq10, par10)
+	}
+
+	seqT2, err := seq.Table2(ctx, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parT2, err := par.Table2(ctx, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqT2, parT2) {
+		t.Errorf("Table2 differs:\nseq: %+v\npar: %+v", seqT2, parT2)
+	}
+}
+
+// TestRunnerShimEquivalence pins the deprecated Options entry points
+// to the Runner: migrating a caller mechanically must not change
+// values.
+func TestRunnerShimEquivalence(t *testing.T) {
+	o := fastOpts()
+	legacy, err := SchemeComparison(o, []string{"wb", "star"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRunner, err := NewRunner(WithOptions(o), WithParallelism(2)).
+		SchemeComparison(context.Background(), []string{"wb", "star"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, viaRunner) {
+		t.Fatalf("shim and Runner disagree:\nshim:   %+v\nrunner: %+v", legacy, viaRunner)
+	}
+}
+
+func TestRunnerCancellationMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := fastRunner(2, WithProgress(func(p Progress) {
+		if p.Done == 1 {
+			cancel() // abort as soon as the first cell lands
+		}
+	}))
+	cells := r.Matrix(nil, []string{"wb", "star", "anubis", "strict"})
+	start := time.Now()
+	results, err := r.Run(ctx, cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != len(cells) {
+		t.Fatalf("results = %d, want %d slots", len(results), len(cells))
+	}
+	completed := 0
+	for _, cr := range results {
+		if cr.Results != nil {
+			completed++
+		}
+	}
+	if completed == len(cells) {
+		t.Fatal("cancellation did not stop the sweep: every cell completed")
+	}
+	t.Logf("canceled after %d/%d cells in %v", completed, len(cells), time.Since(start))
+
+	// A pre-canceled context runs nothing.
+	dead, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	results, err = fastRunner(2).Run(dead, cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled err = %v", err)
+	}
+	for _, cr := range results {
+		if cr.Results != nil {
+			t.Fatalf("pre-canceled context still ran cell %v", cr.Cell)
+		}
+	}
+}
+
+func TestRunnerCancellationAbortsFigures(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := fastRunner(2)
+	if _, err := r.SchemeComparison(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SchemeComparison err = %v", err)
+	}
+	if _, err := r.Fig14b(ctx, []int{32 << 10}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig14b err = %v", err)
+	}
+}
+
+// TestRunnerPoolBounding drives the pool with instrumented jobs and
+// asserts concurrency never exceeds the configured width.
+func TestRunnerPoolBounding(t *testing.T) {
+	const width = 4
+	r := NewRunner(WithParallelism(width))
+	cells := make([]Cell, 32)
+	var cur, peak int64
+	err := r.forEach(context.Background(), cells, func(ctx context.Context, i int) error {
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		atomic.AddInt64(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&peak); got > width {
+		t.Fatalf("pool ran %d jobs concurrently, bound is %d", got, width)
+	} else {
+		t.Logf("peak concurrency %d (bound %d)", got, width)
+	}
+}
+
+func TestRunnerStream(t *testing.T) {
+	r := fastRunner(2)
+	cells := r.Matrix([]string{"queue"}, []string{"wb", "star"})
+	var got []CellResult
+	for cr := range r.Stream(context.Background(), cells) {
+		if cr.Err != nil {
+			t.Fatal(cr.Err)
+		}
+		got = append(got, cr)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("streamed %d results, want %d", len(got), len(cells))
+	}
+	for _, cr := range got {
+		if cr.Results == nil || cr.Results.Ops == 0 {
+			t.Fatalf("empty streamed result for %v", cr.Cell)
+		}
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	var events []Progress
+	r := fastRunner(2, WithProgress(func(p Progress) { events = append(events, p) }))
+	cells := r.Matrix([]string{"array"}, []string{"wb", "star"})
+	if _, err := r.Run(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(cells) {
+		t.Fatalf("progress events = %d, want %d", len(events), len(cells))
+	}
+	for i, p := range events {
+		if p.Done != i+1 || p.Total != len(cells) {
+			t.Fatalf("event %d = %d/%d, want %d/%d", i, p.Done, p.Total, i+1, len(cells))
+		}
+		if p.CellWall <= 0 || p.Elapsed <= 0 {
+			t.Fatalf("event %d has zero timing: %+v", i, p)
+		}
+		if p.Done == p.Total && p.ETA != 0 {
+			t.Fatalf("final event has nonzero ETA: %+v", p)
+		}
+	}
+}
+
+// TestRunnerSpeedup times the same sweep sequentially and with a
+// 4-wide pool and logs the ratio. The speedup assertion only makes
+// sense with real parallel hardware, so it is logged (and checked
+// loosely) rather than hard-asserted on small machines.
+func TestRunnerSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	ctx := context.Background()
+	run := func(parallel int) time.Duration {
+		r := fastRunner(parallel, WithWorkloads("array", "queue", "hash"))
+		start := time.Now()
+		if _, err := r.SchemeComparison(ctx, nil); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	run(1) // warm caches so the comparison is fair
+	seq := run(1)
+	par := run(4)
+	t.Logf("sequential %v, 4-worker %v, speedup %.2fx (GOMAXPROCS-visible CPUs matter)",
+		seq, par, float64(seq)/float64(par))
+	if par > seq*3 {
+		t.Errorf("parallel sweep pathologically slower: seq %v, par %v", seq, par)
+	}
+}

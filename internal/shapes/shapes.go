@@ -8,6 +8,7 @@
 package shapes
 
 import (
+	"context"
 	"fmt"
 
 	"nvmstar/internal/experiments"
@@ -44,23 +45,31 @@ func (r *Report) Passed() bool {
 }
 
 // Evaluate runs the evaluation matrix under o and checks every shape.
+//
+// Deprecated: use EvaluateCtx with an experiments.Runner.
 func Evaluate(o experiments.Options) (*Report, error) {
+	return EvaluateCtx(context.Background(), experiments.NewRunner(experiments.WithOptions(o)))
+}
+
+// EvaluateCtx runs the evaluation matrix on r's worker pool and checks
+// every shape; ctx cancellation aborts the sweep mid-cell.
+func EvaluateCtx(ctx context.Context, r *experiments.Runner) (*Report, error) {
 	rep := &Report{}
 
 	var err error
-	rep.Scheme, err = experiments.SchemeComparison(o, []string{"wb", "star", "anubis", "strict"})
+	rep.Scheme, err = r.SchemeComparison(ctx, []string{"wb", "star", "anubis", "strict"})
 	if err != nil {
 		return nil, err
 	}
-	rep.Table2, err = experiments.Table2(o, []int{2, 4, 8, 16, 32})
+	rep.Table2, err = r.Table2(ctx, []int{2, 4, 8, 16, 32})
 	if err != nil {
 		return nil, err
 	}
-	rep.Fig14a, err = experiments.Fig14a(o)
+	rep.Fig14a, err = r.Fig14a(ctx)
 	if err != nil {
 		return nil, err
 	}
-	rep.Fig14b, err = experiments.Fig14b(o, nil)
+	rep.Fig14b, err = r.Fig14b(ctx, nil)
 	if err != nil {
 		return nil, err
 	}

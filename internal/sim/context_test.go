@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"nvmstar/internal/cache"
+)
+
+func ctxTestConfig() Config {
+	cfg := Default()
+	cfg.Cores = 2
+	cfg.DataBytes = 16 << 20
+	cfg.MetaCache = cache.Config{SizeBytes: 64 << 10, Ways: 8}
+	return cfg
+}
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := NewMachine(ctxTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunCtx(ctx, "queue", 1000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCtxCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, err := NewMachine(ctxTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// Far more ops than can finish in 20 ms: only cancellation ends it.
+	_, err = m.RunCtx(ctx, "hash", 50_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, not mid-run", elapsed)
+	}
+}
+
+func TestRunCtxUncanceledMatchesRun(t *testing.T) {
+	m1, err := NewMachine(ctxTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := m1.Run("queue", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMachine(ctxTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m2.RunCtx(context.Background(), "queue", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Dev != res2.Dev || res1.IPC != res2.IPC || res1.Instructions != res2.Instructions {
+		t.Fatalf("context-aware run diverged:\nrun:    %+v\nrunCtx: %+v", res1, res2)
+	}
+}
+
+func TestRunScenarioCtx(t *testing.T) {
+	res, m, err := RunScenarioCtx(context.Background(), ctxTestConfig(), "array", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || res.Ops != 400 {
+		t.Fatalf("res = %+v", res)
+	}
+}

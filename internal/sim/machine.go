@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"nvmstar/internal/bitmap"
@@ -40,8 +41,21 @@ type Machine struct {
 	wqIdx     int
 	wqLastOut float64 // completion time of the most recent write
 
+	// ctx cancels long simulations: Load/Store poll ctxDone every
+	// ctxPollMask+1 memory operations and record ctx.Err() as the
+	// machine error, which aborts the surrounding run at the next
+	// step boundary.
+	ctx     context.Context
+	ctxDone <-chan struct{}
+	ctxPoll uint
+
 	err error // first engine error (integrity violation = fatal)
 }
+
+// ctxPollMask throttles context polling to one check per 256 memory
+// operations — cheap against the work a simulated access does, yet
+// prompt enough that cancellation lands mid-cell, not at its end.
+const ctxPollMask = 0xff
 
 // NewMachine builds a machine per cfg.
 func NewMachine(cfg Config) (*Machine, error) {
@@ -162,6 +176,36 @@ func (m *Machine) Err() error { return m.err }
 func (m *Machine) setErr(err error) {
 	if m.err == nil && err != nil {
 		m.err = err
+	}
+}
+
+// SetContext attaches ctx to the machine. Subsequent memory operations
+// poll it; once ctx is done, ctx.Err() becomes the machine error and
+// the active run aborts at its next step boundary. A nil ctx (or
+// context.Background()) disables polling. RunCtx and friends call this
+// for the duration of a run; long-lived machines driven directly
+// through Load/Store may set it once up front.
+func (m *Machine) SetContext(ctx context.Context) {
+	if ctx == nil {
+		m.ctx, m.ctxDone = nil, nil
+		return
+	}
+	m.ctx, m.ctxDone = ctx, ctx.Done()
+}
+
+// pollCtx is the per-memory-op cancellation check (throttled).
+func (m *Machine) pollCtx() {
+	if m.ctxDone == nil {
+		return
+	}
+	m.ctxPoll++
+	if m.ctxPoll&ctxPollMask != 0 {
+		return
+	}
+	select {
+	case <-m.ctxDone:
+		m.setErr(m.ctx.Err())
+	default:
 	}
 }
 
@@ -311,6 +355,7 @@ func (m *Machine) locate(addr uint64) (*cache.Entry, *cache.Cache) {
 
 // Load implements heap.Memory for the current core.
 func (m *Machine) Load(addr uint64, buf []byte) {
+	m.pollCtx()
 	c := m.curCore
 	m.instr[c] += instrPerMemOp
 	for len(buf) > 0 {
@@ -324,6 +369,7 @@ func (m *Machine) Load(addr uint64, buf []byte) {
 
 // Store implements heap.Memory for the current core.
 func (m *Machine) Store(addr uint64, data []byte) {
+	m.pollCtx()
 	c := m.curCore
 	m.instr[c] += instrPerMemOp
 	for len(data) > 0 {

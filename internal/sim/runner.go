@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"nvmstar/internal/bitmap"
@@ -50,7 +51,14 @@ func (r *Results) String() string {
 // consistency check runs after measurement; a failure is returned as
 // an error.
 func (m *Machine) Run(name string, ops int) (*Results, error) {
-	return m.run(name, ops, true)
+	return m.run(context.Background(), name, ops, true)
+}
+
+// RunCtx is Run under a context: cancellation or timeout aborts the
+// run mid-workload (setup, measured steps and verification all poll
+// the context) and returns ctx.Err().
+func (m *Machine) RunCtx(ctx context.Context, name string, ops int) (*Results, error) {
+	return m.run(ctx, name, ops, true)
 }
 
 // RunUnverified is Run without the trailing consistency sweep. Crash
@@ -58,10 +66,25 @@ func (m *Machine) Run(name string, ops int) (*Results, error) {
 // persist) every dirty metadata line, which would leave nothing stale
 // for recovery to restore.
 func (m *Machine) RunUnverified(name string, ops int) (*Results, error) {
-	return m.run(name, ops, false)
+	return m.run(context.Background(), name, ops, false)
 }
 
-func (m *Machine) run(name string, ops int, verify bool) (*Results, error) {
+// RunUnverifiedCtx is RunUnverified under a context.
+func (m *Machine) RunUnverifiedCtx(ctx context.Context, name string, ops int) (*Results, error) {
+	return m.run(ctx, name, ops, false)
+}
+
+func (m *Machine) run(ctx context.Context, name string, ops int, verify bool) (*Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prevCtx, prevDone := m.ctx, m.ctxDone
+	m.SetContext(ctx)
+	defer func() { m.ctx, m.ctxDone = prevCtx, prevDone }()
+
 	s, err := m.NewSession(name)
 	if err != nil {
 		return nil, err
@@ -205,11 +228,17 @@ func (m *Machine) Measure(name string, fn func() error) (*Results, error) {
 // RunScenario builds a machine and runs one workload — the one-call
 // entry point used by the benchmark harness and the CLI.
 func RunScenario(cfg Config, workloadName string, ops int) (*Results, *Machine, error) {
+	return RunScenarioCtx(context.Background(), cfg, workloadName, ops)
+}
+
+// RunScenarioCtx is RunScenario under a context; the experiment
+// runner's worker pool uses it so a canceled sweep aborts mid-cell.
+func RunScenarioCtx(ctx context.Context, cfg Config, workloadName string, ops int) (*Results, *Machine, error) {
 	m, err := NewMachine(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := m.Run(workloadName, ops)
+	res, err := m.RunCtx(ctx, workloadName, ops)
 	if err != nil {
 		return nil, nil, err
 	}
