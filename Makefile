@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench report examples vet fmt clean race verify
+.PHONY: all build test test-short bench bench-json report examples vet fmt clean race verify
 
 all: verify
 
@@ -38,6 +38,14 @@ race:
 # One benchmark per paper table/figure, plus ablations and baselines.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable hot-path numbers, committed as BENCH_hotpath.json so
+# regressions show up in review: the per-scheme engine write path and
+# the parallel runner sweep.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWriteLine|BenchmarkRunnerMatrix' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_hotpath.json
+	@cat BENCH_hotpath.json
 
 # Regenerate the evaluation tables (Figs. 10-14, Table II).
 evaluation:

@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// stable JSON document, so benchmark numbers can be committed and
+// diffed across PRs (see `make bench-json` and BENCH_hotpath.json).
+//
+//	go test -bench 'EngineWriteLine' -benchmem . | benchjson -o BENCH_hotpath.json
+//
+// Input is read from stdin (or the files named as arguments); only
+// benchmark result lines are parsed, everything else is ignored. Each
+// result becomes one record:
+//
+//	{"name": "BenchmarkEngineWriteLine/star-8", "runs": 1536882,
+//	 "ns_per_op": 783.2, "bytes_per_op": 28, "allocs_per_op": 0,
+//	 "metrics": {"hashes/update": 9.0}}
+//
+// bytes_per_op/allocs_per_op are -1 when the run lacked -benchmem.
+// Records keep input order; `goos:`/`goarch:`/`cpu:` header lines are
+// captured into the top-level "env" object.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Env     map[string]string `json:"env,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Doc{Env: map[string]string{}}
+	readInput := func(r io.Reader) error { return parse(r, &doc) }
+
+	if flag.NArg() == 0 {
+		if err := readInput(os.Stdin); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, name := range flag.Args() {
+			f, err := os.Open(name)
+			if err != nil {
+				fatal(err)
+			}
+			err = readInput(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if len(doc.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+	if len(doc.Env) == 0 {
+		doc.Env = nil
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// parse scans r for benchmark result and environment header lines.
+func parse(r io.Reader, doc *Doc) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "cpu", "pkg"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Env[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if res, ok := parseResult(line); ok {
+			doc.Results = append(doc.Results, res)
+		}
+	}
+	return sc.Err()
+}
+
+// parseResult parses one result line of the form
+//
+//	BenchmarkName-8  1000  783 ns/op  28 B/op  0 allocs/op  9.0 hashes/update
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Runs: runs, BytesPerOp: -1, AllocsPerOp: -1}
+	seenNs := false
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, seenNs
+}

@@ -265,12 +265,19 @@ func (c *Cache) MarkDirty(addr uint64) (present, transition bool) {
 	if e == nil {
 		return false, false
 	}
+	return true, c.MarkEntryDirty(e)
+}
+
+// MarkEntryDirty is MarkDirty through an entry handle the caller
+// already holds (from Lookup, Peek or Insert), skipping the set scan.
+// The handle must come from this cache and still be valid.
+func (c *Cache) MarkEntryDirty(e *Entry) (transition bool) {
 	transition = !e.Dirty
 	if transition {
 		c.dirty++
 	}
 	e.Dirty = true
-	return true, transition
+	return transition
 }
 
 // CleanLine clears the dirty bit of a cached line (after a write-back
@@ -280,6 +287,12 @@ func (c *Cache) CleanLine(addr uint64) (wasDirty bool) {
 	if e == nil {
 		return false
 	}
+	return c.CleanEntry(e)
+}
+
+// CleanEntry is CleanLine through an entry handle the caller already
+// holds, skipping the set scan.
+func (c *Cache) CleanEntry(e *Entry) (wasDirty bool) {
 	wasDirty = e.Dirty
 	if e.Dirty {
 		c.dirty--

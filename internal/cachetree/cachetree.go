@@ -44,6 +44,13 @@ type Tree struct {
 	// ceil(len/8) nodes; the last has exactly one (the root).
 	levels [][]uint64
 	stats  Stats
+
+	// Reused MAC-input buffers: building the inputs in fields instead
+	// of locals keeps the slices passed through the Suite interface
+	// from escaping, so the incremental update path (UpdateSet on
+	// every metadata modification) does zero allocations steady-state.
+	childBuf [8 * 8]byte
+	macBuf   []byte
 }
 
 // New creates a cache-tree over numSets cache sets.
@@ -86,7 +93,7 @@ func (t *Tree) Root() uint64 { return t.levels[len(t.levels)-1][0] }
 
 func (t *Tree) hashChildren(level, parentIdx int) uint64 {
 	t.stats.NodeHashes++
-	var buf [8 * 8]byte
+	buf := &t.childBuf
 	children := t.levels[level]
 	for c := 0; c < 8; c++ {
 		idx := parentIdx*8 + c
@@ -114,6 +121,21 @@ func SetMAC(suite simcrypto.Suite, entries []SetEntry) uint64 {
 	return suite.MAC(buf)
 }
 
+// setMAC is SetMAC through the tree's reused buffer — same bytes, same
+// MAC, no allocation once the buffer has grown to the set's size.
+func (t *Tree) setMAC(entries []SetEntry) uint64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	buf := t.macBuf[:0]
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Addr)
+		buf = binary.LittleEndian.AppendUint64(buf, e.MAC)
+	}
+	t.macBuf = buf
+	return t.suite.MAC(buf)
+}
+
 // UpdateSet recomputes one set-MAC (entries must be the set's dirty
 // lines in ascending address order) and refreshes the branch to the
 // root. This is the O(log) incremental path taken during execution.
@@ -122,7 +144,7 @@ func (t *Tree) UpdateSet(set int, entries []SetEntry) {
 		panic(fmt.Sprintf("cachetree: set %d out of range", set))
 	}
 	t.stats.SetMACs++
-	newMAC := SetMAC(t.suite, entries)
+	newMAC := t.setMAC(entries)
 	if t.levels[0][set] == newMAC {
 		return
 	}

@@ -89,11 +89,13 @@ func (s Stats) Sub(o Stats) Stats {
 
 // Device is a line-granularity PCM device. The line store is sparse:
 // never-written lines read as all-zero, which models a zeroed device
-// and lets the simulator address terabyte-scale spaces cheaply.
+// and lets the simulator address terabyte-scale spaces cheaply. The
+// store is paged (see lineStore): a line access costs two array
+// indexations instead of a map lookup, and steady-state accesses do
+// not allocate.
 type Device struct {
 	cfg   Config
-	lines map[uint64]memline.Line
-	wear  map[uint64]uint64
+	store lineStore
 	stats Stats
 	hook  AccessHook
 }
@@ -112,10 +114,18 @@ func New(cfg Config) (*Device, error) {
 	if cfg.CapacityBytes == 0 || cfg.CapacityBytes%memline.Size != 0 {
 		return nil, fmt.Errorf("nvm: capacity %d is not a positive multiple of %d", cfg.CapacityBytes, memline.Size)
 	}
-	d := &Device{cfg: cfg, lines: make(map[uint64]memline.Line)}
-	if cfg.TrackWear {
-		d.wear = make(map[uint64]uint64)
+	return &Device{cfg: cfg, store: newPagedStore(cfg.CapacityBytes)}, nil
+}
+
+// newWithStore builds a Device over an explicit backing store; the
+// shared store-semantics tests use it to exercise the map reference
+// implementation through the full Device API.
+func newWithStore(cfg Config, s lineStore) (*Device, error) {
+	d, err := New(cfg)
+	if err != nil {
+		return nil, err
 	}
+	d.store = s
 	return d, nil
 }
 
@@ -140,16 +150,14 @@ func (d *Device) Read(addr uint64) (memline.Line, bool) {
 	if d.hook != nil {
 		d.hook(false, addr)
 	}
-	l, ok := d.lines[addr]
-	return l, ok
+	return d.store.load(addr)
 }
 
 // Peek returns the line at addr without counting an access. Recovery
 // verification and tests use it to inspect device state.
 func (d *Device) Peek(addr uint64) (memline.Line, bool) {
 	d.checkAddr(addr)
-	l, ok := d.lines[addr]
-	return l, ok
+	return d.store.load(addr)
 }
 
 // Write stores a line at addr.
@@ -160,9 +168,9 @@ func (d *Device) Write(addr uint64, l memline.Line) {
 	if d.hook != nil {
 		d.hook(true, addr)
 	}
-	d.lines[addr] = l
-	if d.wear != nil {
-		d.wear[addr]++
+	d.store.store(addr, l)
+	if d.cfg.TrackWear {
+		d.store.bumpWear(addr)
 	}
 }
 
@@ -170,7 +178,7 @@ func (d *Device) Write(addr uint64, l memline.Line) {
 // test setup use it to mutate device state out of band.
 func (d *Device) Poke(addr uint64, l memline.Line) {
 	d.checkAddr(addr)
-	d.lines[addr] = l
+	d.store.store(addr, l)
 }
 
 // Stats returns a copy of the device counters.
@@ -181,25 +189,26 @@ func (d *Device) ResetStats() { d.stats = Stats{} }
 
 // Wear returns the write count of the line at addr. It is zero unless
 // TrackWear was enabled.
-func (d *Device) Wear(addr uint64) uint64 { return d.wear[addr] }
+func (d *Device) Wear(addr uint64) uint64 { return d.store.wear(addr) }
 
-// MaxWear returns the highest per-line write count and its address.
+// MaxWear returns the highest per-line write count and its address
+// (the lowest such address on ties).
 func (d *Device) MaxWear() (addr, writes uint64) {
-	for a, w := range d.wear {
-		if w > writes || (w == writes && a < addr) {
+	d.store.rangeWear(func(a, w uint64) {
+		if w > writes {
 			addr, writes = a, w
 		}
-	}
+	})
 	return addr, writes
 }
 
 // WearProfile returns per-line wear sorted by descending write count,
 // capped at limit entries. It supports endurance analyses.
 func (d *Device) WearProfile(limit int) []WearEntry {
-	entries := make([]WearEntry, 0, len(d.wear))
-	for a, w := range d.wear {
+	entries := make([]WearEntry, 0, d.store.wearCount())
+	d.store.rangeWear(func(a, w uint64) {
 		entries = append(entries, WearEntry{Addr: a, Writes: w})
-	}
+	})
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Writes != entries[j].Writes {
 			return entries[i].Writes > entries[j].Writes
@@ -219,4 +228,4 @@ type WearEntry struct {
 }
 
 // LinesWritten returns how many distinct lines have ever been written.
-func (d *Device) LinesWritten() int { return len(d.lines) }
+func (d *Device) LinesWritten() int { return d.store.linesWritten() }

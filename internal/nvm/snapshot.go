@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 
 	"nvmstar/internal/memline"
 )
@@ -25,62 +24,49 @@ func (d *Device) Save(w io.Writer) error {
 	}
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], d.cfg.CapacityBytes)
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(d.lines)))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(d.store.linesWritten()))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	// Lines in sorted order for deterministic images.
-	for _, e := range d.sortedLines() {
-		var rec [8 + memline.Size]byte
-		binary.LittleEndian.PutUint64(rec[0:8], e.addr)
-		copy(rec[8:], e.line[:])
-		if _, err := bw.Write(rec[:]); err != nil {
-			return err
+	// rangeLines iterates in ascending address order, keeping images
+	// deterministic.
+	var werr error
+	d.store.rangeLines(func(addr uint64, l memline.Line) {
+		if werr != nil {
+			return
 		}
+		var rec [8 + memline.Size]byte
+		binary.LittleEndian.PutUint64(rec[0:8], addr)
+		copy(rec[8:], l[:])
+		_, werr = bw.Write(rec[:])
+	})
+	if werr != nil {
+		return werr
 	}
 	wearCount := uint64(0)
-	if d.wear != nil {
-		wearCount = uint64(len(d.wear))
+	if d.cfg.TrackWear {
+		wearCount = uint64(d.store.wearCount())
 	}
 	var wc [8]byte
 	binary.LittleEndian.PutUint64(wc[:], wearCount)
 	if _, err := bw.Write(wc[:]); err != nil {
 		return err
 	}
-	if d.wear != nil {
-		for _, e := range d.sortedWear() {
-			var rec [16]byte
-			binary.LittleEndian.PutUint64(rec[0:8], e.Addr)
-			binary.LittleEndian.PutUint64(rec[8:16], e.Writes)
-			if _, err := bw.Write(rec[:]); err != nil {
-				return err
+	if d.cfg.TrackWear {
+		d.store.rangeWear(func(addr, writes uint64) {
+			if werr != nil {
+				return
 			}
+			var rec [16]byte
+			binary.LittleEndian.PutUint64(rec[0:8], addr)
+			binary.LittleEndian.PutUint64(rec[8:16], writes)
+			_, werr = bw.Write(rec[:])
+		})
+		if werr != nil {
+			return werr
 		}
 	}
 	return bw.Flush()
-}
-
-type addrLine struct {
-	addr uint64
-	line memline.Line
-}
-
-func (d *Device) sortedLines() []addrLine {
-	out := make([]addrLine, 0, len(d.lines))
-	for a, l := range d.lines {
-		out = append(out, addrLine{a, l})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
-	return out
-}
-
-func (d *Device) sortedWear() []WearEntry {
-	out := make([]WearEntry, 0, len(d.wear))
-	for a, w := range d.wear {
-		out = append(out, WearEntry{Addr: a, Writes: w})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
-	return out
 }
 
 // Restore loads a snapshot produced by Save into the device, replacing
@@ -103,7 +89,7 @@ func (d *Device) Restore(r io.Reader) error {
 		return fmt.Errorf("nvm: snapshot capacity %d does not match device %d", capacity, d.cfg.CapacityBytes)
 	}
 	count := binary.LittleEndian.Uint64(hdr[8:16])
-	lines := make(map[uint64]memline.Line, count)
+	d.store.reset()
 	for i := uint64(0); i < count; i++ {
 		var rec [8 + memline.Size]byte
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -115,29 +101,21 @@ func (d *Device) Restore(r io.Reader) error {
 		}
 		var l memline.Line
 		copy(l[:], rec[8:])
-		lines[addr] = l
+		d.store.store(addr, l)
 	}
 	var wc [8]byte
 	if _, err := io.ReadFull(br, wc[:]); err != nil {
 		return err
 	}
 	wearCount := binary.LittleEndian.Uint64(wc[:])
-	var wear map[uint64]uint64
-	if d.cfg.TrackWear {
-		wear = make(map[uint64]uint64, wearCount)
-	}
 	for i := uint64(0); i < wearCount; i++ {
 		var rec [16]byte
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return fmt.Errorf("nvm: truncated wear table: %w", err)
 		}
-		if wear != nil {
-			wear[binary.LittleEndian.Uint64(rec[0:8])] = binary.LittleEndian.Uint64(rec[8:16])
+		if d.cfg.TrackWear {
+			d.store.setWear(binary.LittleEndian.Uint64(rec[0:8]), binary.LittleEndian.Uint64(rec[8:16]))
 		}
-	}
-	d.lines = lines
-	if d.cfg.TrackWear {
-		d.wear = wear
 	}
 	return nil
 }

@@ -1,0 +1,184 @@
+// Package paged implements a sparse, fixed-capacity table indexed by
+// dense uint64 slot numbers (line indices, in this simulator). It
+// replaces the per-access map lookups on the simulator's hot paths: a
+// lookup is two array indexations and a bit test, a write allocates at
+// most one fixed-size page, and steady-state accesses allocate nothing.
+//
+// The layout is a two-level radix tree: a directory of lazily
+// allocated directories of lazily allocated pages. Presence is tracked
+// per slot in a page-local bitmap, so the zero value of V and "never
+// written" stay distinguishable — the semantics the sparse NVM line
+// store relies on.
+package paged
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	// pageShift sizes a page at 512 slots: one page of memline.Line
+	// values covers 32 KB of simulated memory and matches the span of
+	// one STAR bitmap line.
+	pageShift = 9
+	pageSlots = 1 << pageShift
+	pageMask  = pageSlots - 1
+
+	// dirShift sizes a directory at 8192 pages (4 M slots), keeping the
+	// root directory small even for terabyte-scale address spaces.
+	dirShift = 13
+	dirFan   = 1 << dirShift
+	dirMask  = dirFan - 1
+
+	presentWords = pageSlots / 64
+)
+
+type page[V any] struct {
+	present [presentWords]uint64
+	vals    [pageSlots]V
+}
+
+type dir[V any] struct {
+	pages [dirFan]*page[V]
+}
+
+// Table is a sparse fixed-capacity slot table. The zero Table is not
+// usable; construct with New.
+type Table[V any] struct {
+	slots uint64
+	dirs  []*dir[V]
+	count int
+}
+
+// New creates a table with the given slot capacity. Get beyond the
+// capacity reports absence; Ref, Set and Delete beyond it panic (the
+// simulator computing an out-of-range slot is a bug).
+func New[V any](slots uint64) *Table[V] {
+	numPages := (slots + pageSlots - 1) >> pageShift
+	numDirs := (numPages + dirFan - 1) >> dirShift
+	return &Table[V]{slots: slots, dirs: make([]*dir[V], numDirs)}
+}
+
+// Slots returns the table capacity.
+func (t *Table[V]) Slots() uint64 { return t.slots }
+
+// Len returns the number of present slots.
+func (t *Table[V]) Len() int { return t.count }
+
+// Get returns the value at idx and whether the slot is present.
+// Out-of-capacity indices report absence rather than panicking, so
+// probe-style callers (the cache-ownership lookup) need no bound check
+// of their own.
+func (t *Table[V]) Get(idx uint64) (V, bool) {
+	var zero V
+	if idx >= t.slots {
+		return zero, false
+	}
+	pageIdx := idx >> pageShift
+	d := t.dirs[pageIdx>>dirShift]
+	if d == nil {
+		return zero, false
+	}
+	p := d.pages[pageIdx&dirMask]
+	if p == nil {
+		return zero, false
+	}
+	slot := idx & pageMask
+	if p.present[slot>>6]&(1<<(slot&63)) == 0 {
+		return zero, false
+	}
+	return p.vals[slot], true
+}
+
+// Ref returns a pointer to the slot's value, marking it present and
+// allocating its page if needed. isNew reports whether the slot was
+// absent before the call. The pointer stays valid for the lifetime of
+// the table (pages are never freed except by Clear).
+func (t *Table[V]) Ref(idx uint64) (ref *V, isNew bool) {
+	if idx >= t.slots {
+		panic(fmt.Sprintf("paged: slot %d beyond capacity %d", idx, t.slots))
+	}
+	pageIdx := idx >> pageShift
+	d := t.dirs[pageIdx>>dirShift]
+	if d == nil {
+		d = new(dir[V])
+		t.dirs[pageIdx>>dirShift] = d
+	}
+	p := d.pages[pageIdx&dirMask]
+	if p == nil {
+		p = new(page[V])
+		d.pages[pageIdx&dirMask] = p
+	}
+	slot := idx & pageMask
+	word, bit := slot>>6, uint64(1)<<(slot&63)
+	if p.present[word]&bit == 0 {
+		p.present[word] |= bit
+		t.count++
+		isNew = true
+	}
+	return &p.vals[slot], isNew
+}
+
+// Set stores v at idx, reporting whether the slot was newly created.
+func (t *Table[V]) Set(idx uint64, v V) (isNew bool) {
+	ref, isNew := t.Ref(idx)
+	*ref = v
+	return isNew
+}
+
+// Delete removes the slot, returning its value and whether it was
+// present. The slot's storage is zeroed.
+func (t *Table[V]) Delete(idx uint64) (V, bool) {
+	var zero V
+	if idx >= t.slots {
+		panic(fmt.Sprintf("paged: slot %d beyond capacity %d", idx, t.slots))
+	}
+	pageIdx := idx >> pageShift
+	d := t.dirs[pageIdx>>dirShift]
+	if d == nil {
+		return zero, false
+	}
+	p := d.pages[pageIdx&dirMask]
+	if p == nil {
+		return zero, false
+	}
+	slot := idx & pageMask
+	word, bit := slot>>6, uint64(1)<<(slot&63)
+	if p.present[word]&bit == 0 {
+		return zero, false
+	}
+	out := p.vals[slot]
+	p.vals[slot] = zero
+	p.present[word] &^= bit
+	t.count--
+	return out, true
+}
+
+// Range calls fn for every present slot in ascending index order.
+func (t *Table[V]) Range(fn func(idx uint64, v V)) {
+	for di, d := range t.dirs {
+		if d == nil {
+			continue
+		}
+		for pi, p := range d.pages {
+			if p == nil {
+				continue
+			}
+			base := (uint64(di)<<dirShift | uint64(pi)) << pageShift
+			for w, word := range p.present {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					slot := uint64(w)<<6 | uint64(b)
+					fn(base|slot, p.vals[slot])
+					word &= word - 1
+				}
+			}
+		}
+	}
+}
+
+// Clear removes every slot, releasing all pages.
+func (t *Table[V]) Clear() {
+	t.dirs = make([]*dir[V], len(t.dirs))
+	t.count = 0
+}

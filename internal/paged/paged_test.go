@@ -1,0 +1,182 @@
+package paged
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestZeroValueVsAbsent(t *testing.T) {
+	tab := New[uint64](1 << 20)
+	if _, ok := tab.Get(7); ok {
+		t.Fatal("absent slot reported present")
+	}
+	tab.Set(7, 0) // explicitly stored zero
+	if v, ok := tab.Get(7); !ok || v != 0 {
+		t.Fatalf("stored zero read back as (%d, %v)", v, ok)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	tab := New[int32](4 << 20)
+	// Indices spanning several pages and both directories of a small table.
+	idxs := []uint64{0, 1, 511, 512, 513, 1 << 15, 1<<22 - 1, 3 << 20}
+	for i, idx := range idxs {
+		if isNew := tab.Set(idx, int32(i)); !isNew {
+			t.Fatalf("Set(%d) not new", idx)
+		}
+	}
+	if isNew := tab.Set(511, 99); isNew {
+		t.Fatal("overwrite reported new")
+	}
+	if v, ok := tab.Get(511); !ok || v != 99 {
+		t.Fatalf("Get(511) = (%d, %v)", v, ok)
+	}
+	if v, ok := tab.Delete(512); !ok || v != 3 {
+		t.Fatalf("Delete(512) = (%d, %v)", v, ok)
+	}
+	if _, ok := tab.Get(512); ok {
+		t.Fatal("deleted slot still present")
+	}
+	if _, ok := tab.Delete(512); ok {
+		t.Fatal("double delete reported present")
+	}
+	if tab.Len() != len(idxs)-1 {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(idxs)-1)
+	}
+}
+
+func TestGetBeyondCapacityIsAbsent(t *testing.T) {
+	tab := New[uint64](1024)
+	if _, ok := tab.Get(1 << 40); ok {
+		t.Fatal("out-of-capacity Get reported present")
+	}
+}
+
+func TestSetBeyondCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New[uint64](1024).Set(1024, 1)
+}
+
+func TestRefBump(t *testing.T) {
+	tab := New[uint64](1 << 12)
+	for i := 0; i < 5; i++ {
+		ref, _ := tab.Ref(33)
+		*ref++
+	}
+	if v, _ := tab.Get(33); v != 5 {
+		t.Fatalf("bumped slot = %d", v)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestRangeAscendingAndComplete(t *testing.T) {
+	tab := New[uint64](1 << 24)
+	rng := rand.New(rand.NewSource(42))
+	want := map[uint64]uint64{}
+	for i := 0; i < 2000; i++ {
+		idx := rng.Uint64() % (1 << 24)
+		want[idx] = idx * 3
+		tab.Set(idx, idx*3)
+	}
+	got := map[uint64]uint64{}
+	last := int64(-1)
+	tab.Range(func(idx uint64, v uint64) {
+		if int64(idx) <= last {
+			t.Fatalf("Range not ascending: %d after %d", idx, last)
+		}
+		last = int64(idx)
+		got[idx] = v
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Range visited %d slots, want %d", len(got), len(want))
+	}
+	if tab.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(want))
+	}
+}
+
+func TestClear(t *testing.T) {
+	tab := New[uint64](1 << 20)
+	for i := uint64(0); i < 1000; i++ {
+		tab.Set(i*37, i)
+	}
+	tab.Clear()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", tab.Len())
+	}
+	if _, ok := tab.Get(37); ok {
+		t.Fatal("slot survived Clear")
+	}
+	// The table is reusable after Clear.
+	tab.Set(37, 5)
+	if v, ok := tab.Get(37); !ok || v != 5 {
+		t.Fatalf("Get after Clear+Set = (%d, %v)", v, ok)
+	}
+}
+
+func TestMatchesMapReference(t *testing.T) {
+	const slots = 1 << 18
+	tab := New[uint64](slots)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(7))
+	for op := 0; op < 50000; op++ {
+		idx := rng.Uint64() % slots
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			_, inRef := ref[idx]
+			if isNew := tab.Set(idx, v); isNew == inRef {
+				t.Fatalf("op %d: Set(%d) isNew=%v but map presence %v", op, idx, isNew, inRef)
+			}
+			ref[idx] = v
+		case 1:
+			v, ok := tab.Get(idx)
+			rv, rok := ref[idx]
+			if ok != rok || v != rv {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), map (%d,%v)", op, idx, v, ok, rv, rok)
+			}
+		case 2:
+			v, ok := tab.Delete(idx)
+			rv, rok := ref[idx]
+			if ok != rok || v != rv {
+				t.Fatalf("op %d: Delete(%d) = (%d,%v), map (%d,%v)", op, idx, v, ok, rv, rok)
+			}
+			delete(ref, idx)
+		}
+	}
+	if tab.Len() != len(ref) {
+		t.Fatalf("Len = %d, map %d", tab.Len(), len(ref))
+	}
+}
+
+func BenchmarkTableGet(b *testing.B) {
+	tab := New[uint64](1 << 22)
+	for i := uint64(0); i < 1<<22; i += 2 {
+		tab.Set(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Get(uint64(i) & (1<<22 - 1))
+	}
+}
+
+func BenchmarkMapGet(b *testing.B) {
+	m := make(map[uint64]uint64)
+	for i := uint64(0); i < 1<<22; i += 2 {
+		m[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m[uint64(i)&(1<<22-1)]
+	}
+}

@@ -81,6 +81,11 @@ type Scheme struct {
 	stTree *cachetree.Tree // on-chip merkle protection of the ST region
 	stRoot uint64          // non-volatile root register, snapshotted at crash
 	stats  Stats
+	// Reused buffers for the per-write ST update: the encoded line and
+	// the one-entry slice would otherwise escape through the Suite and
+	// UpdateSet calls and allocate on every user write.
+	lineBuf memline.Line
+	entBuf  [1]cachetree.SetEntry
 }
 
 // New returns an Anubis scheme bound to the engine.
@@ -128,12 +133,13 @@ func (s *Scheme) OnChildPersisted(parent sit.NodeID) error {
 	for i, c := range node.Counters {
 		entry.CtrLSBs[i] = c & lsb48Mask
 	}
-	line := entry.encode()
-	s.e.Device().Write(geo.STAddr(slot), line)
+	s.lineBuf = entry.encode()
+	s.e.Device().Write(geo.STAddr(slot), s.lineBuf)
 	s.stats.STWrites++
 	// Refresh the on-chip ST merkle root (hash work only, no memory
 	// traffic).
-	s.stTree.UpdateSet(int(slot), []cachetree.SetEntry{{Addr: entry.NodeAddr, MAC: s.e.Suite().MAC(line[:])}})
+	s.entBuf[0] = cachetree.SetEntry{Addr: entry.NodeAddr, MAC: s.e.Suite().MAC(s.lineBuf[:])}
+	s.stTree.UpdateSet(int(slot), s.entBuf[:])
 	return nil
 }
 

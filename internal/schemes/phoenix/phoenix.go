@@ -47,6 +47,9 @@ type Scheme struct {
 	// reached NVM.
 	updates map[uint64]int
 	stats   Stats
+	// Reused buffers for the per-write ST update (see anubis).
+	lineBuf memline.Line
+	entBuf  [1]cachetree.SetEntry
 }
 
 // New returns a Phoenix scheme bound to the engine. stride <= 0 uses
@@ -108,10 +111,11 @@ func (s *Scheme) OnChildPersisted(parent sit.NodeID) error {
 		return fmt.Errorf("phoenix: bumped parent %v not cached", parent)
 	}
 	slot := uint64(set*s.e.MetaCache().Ways() + way)
-	line := encodeEntry(geo.NodeAddr(parent), node)
-	s.e.Device().Write(geo.STAddr(slot), line)
+	s.lineBuf = encodeEntry(geo.NodeAddr(parent), node)
+	s.e.Device().Write(geo.STAddr(slot), s.lineBuf)
 	s.stats.STWrites++
-	s.stTree.UpdateSet(int(slot), []cachetree.SetEntry{{Addr: geo.NodeAddr(parent), MAC: s.e.Suite().MAC(line[:])}})
+	s.entBuf[0] = cachetree.SetEntry{Addr: geo.NodeAddr(parent), MAC: s.e.Suite().MAC(s.lineBuf[:])}
+	s.stTree.UpdateSet(int(slot), s.entBuf[:])
 	return nil
 }
 

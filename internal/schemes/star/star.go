@@ -54,6 +54,10 @@ type Scheme struct {
 	treeRoot  uint64
 	bitmapCfg bitmap.Config
 	crashed   bool
+	// conv is the reused secmem→cachetree entry conversion buffer;
+	// updateSet runs on every metadata modification and must not
+	// allocate steady-state.
+	conv []cachetree.SetEntry
 }
 
 // New returns a STAR scheme bound to the engine, with cfg sizing the
@@ -108,11 +112,11 @@ func (s *Scheme) OnMetaClean(_ sit.NodeID, metaIdx uint64, set int, _ bool) {
 
 func (s *Scheme) updateSet(set int) {
 	entries := s.e.DirtySetEntries(set)
-	converted := make([]cachetree.SetEntry, len(entries))
-	for i, en := range entries {
-		converted[i] = cachetree.SetEntry{Addr: en.Addr, MAC: en.MAC}
+	s.conv = s.conv[:0]
+	for _, en := range entries {
+		s.conv = append(s.conv, cachetree.SetEntry{Addr: en.Addr, MAC: en.MAC})
 	}
-	s.tree.UpdateSet(set, converted)
+	s.tree.UpdateSet(set, s.conv)
 	s.treeRoot = s.tree.Root()
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nvmstar/internal/counter"
+	"nvmstar/internal/memline"
 	"nvmstar/internal/sit"
 )
 
@@ -102,7 +103,7 @@ func (e *Engine) AuditData() []uint64 {
 		} else if line, present := e.dev.Peek(geo.NodeAddr(cb)); present {
 			ctr = counter.Decode(line).Counters[slot]
 		}
-		if e.dataMAC[addr] != e.DataMACField(addr, cipher, ctr) {
+		if mac, _ := e.dataMAC.Get(addr / memline.Size); mac != e.DataMACField(addr, cipher, ctr) {
 			out = append(out, addr)
 		}
 	}

@@ -29,12 +29,14 @@
 package secmem
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"nvmstar/internal/cache"
 	"nvmstar/internal/counter"
 	"nvmstar/internal/memline"
 	"nvmstar/internal/nvm"
+	"nvmstar/internal/paged"
 	"nvmstar/internal/simcrypto"
 	"nvmstar/internal/sit"
 )
@@ -110,20 +112,37 @@ type nodeAux struct {
 // concurrent use: the simulator is single-goroutine so runs are
 // reproducible.
 type Engine struct {
-	cfg     Config
-	geo     *sit.Geometry
-	dev     *nvm.Device
-	suite   simcrypto.Suite
-	meta    *cache.Cache
-	aux     map[uint64]*nodeAux
-	root    counter.Node // on-chip non-volatile root register
-	dataMAC map[uint64]uint64
+	cfg   Config
+	geo   *sit.Geometry
+	dev   *nvm.Device
+	suite simcrypto.Suite
+	meta  *cache.Cache
+	aux   map[uint64]*nodeAux
+	root  counter.Node // on-chip non-volatile root register
+	// dataMAC models the sideband MAC chip: one 64-bit field per data
+	// line, keyed by line index in a paged table so the per-access
+	// lookup and store allocate nothing.
+	dataMAC *paged.Table[uint64]
 	scheme  Scheme
 	stats   Stats
 
 	// pendingForced queues forced MSB write-backs (see bumpSlot); they
 	// run only after the child write that triggered them reaches NVM.
 	pendingForced []sit.NodeID
+
+	// dirtySets maintains, per metadata-cache set, the dirty lines in
+	// ascending address order with their current MAC fields — the exact
+	// input of the cache-tree's set-MAC. It is updated incrementally at
+	// every dirty transition, MAC refresh and clean, so DirtySetEntries
+	// is O(1) instead of a scan-decode-sort per call.
+	dirtySets [][]SetEntry
+
+	// macBuf is the reused input buffer for Node/DataMACField. Both
+	// inputs are exactly 80 bytes (addr + 8 counters + parent counter,
+	// or addr + 64-byte ciphertext + counter); building them in a field
+	// instead of a local keeps the slice passed through the Suite
+	// interface from escaping, so MAC computation does not allocate.
+	macBuf [80]byte
 }
 
 // New builds an engine. Call SetScheme before issuing any operation.
@@ -158,13 +177,14 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{
-		cfg:     cfg,
-		geo:     geo,
-		dev:     dev,
-		suite:   cfg.Suite,
-		meta:    meta,
-		aux:     make(map[uint64]*nodeAux),
-		dataMAC: make(map[uint64]uint64),
+		cfg:       cfg,
+		geo:       geo,
+		dev:       dev,
+		suite:     cfg.Suite,
+		meta:      meta,
+		aux:       make(map[uint64]*nodeAux),
+		dataMAC:   paged.New[uint64](geo.DataBytes() / memline.Size),
+		dirtySets: make([][]SetEntry, meta.NumSets()),
 	}, nil
 }
 
@@ -207,13 +227,13 @@ func (e *Engine) RootNode() counter.Node { return e.root }
 // synergization is on, or a full 64-bit MAC otherwise.
 func (e *Engine) NodeMACField(id sit.NodeID, ctrs [counter.Arity]uint64, parentCtr uint64) uint64 {
 	e.stats.MACComputes++
-	var in simcrypto.MACInput
-	in.U64(e.geo.NodeAddr(id))
-	for _, c := range ctrs {
-		in.U64(c)
+	buf := &e.macBuf
+	binary.LittleEndian.PutUint64(buf[0:8], e.geo.NodeAddr(id))
+	for i, c := range ctrs {
+		binary.LittleEndian.PutUint64(buf[8+i*8:16+i*8], c)
 	}
-	in.U64(parentCtr)
-	mac := in.Sum(e.suite)
+	binary.LittleEndian.PutUint64(buf[72:80], parentCtr)
+	mac := e.suite.MAC(buf[:])
 	if e.scheme.Synergize() {
 		return counter.PackMACField(mac, parentCtr&simcrypto.LSBMask)
 	}
@@ -225,9 +245,11 @@ func (e *Engine) NodeMACField(id sit.NodeID, ctrs [counter.Arity]uint64, parentC
 // packed alongside under synergization.
 func (e *Engine) DataMACField(addr uint64, cipher memline.Line, ctr uint64) uint64 {
 	e.stats.MACComputes++
-	var in simcrypto.MACInput
-	in.U64(addr).Bytes(cipher[:]).U64(ctr)
-	mac := in.Sum(e.suite)
+	buf := &e.macBuf
+	binary.LittleEndian.PutUint64(buf[0:8], addr)
+	copy(buf[8:8+memline.Size], cipher[:])
+	binary.LittleEndian.PutUint64(buf[72:80], ctr)
+	mac := e.suite.MAC(buf[:])
 	if e.scheme.Synergize() {
 		return counter.PackMACField(mac, ctr&simcrypto.LSBMask)
 	}
@@ -264,24 +286,24 @@ func (e *Engine) WriteMetaRestored(id sit.NodeID, node counter.Node) {
 func (e *Engine) ReadDataRaw(addr uint64) (memline.Line, uint64, bool) {
 	e.stats.DataNVMReads++
 	line, ok := e.dev.Read(addr)
-	return line, e.dataMAC[addr], ok
+	mac, _ := e.dataMAC.Get(addr / memline.Size)
+	return line, mac, ok
 }
 
 func (e *Engine) writeDataNVM(addr uint64, cipher memline.Line, macField uint64) {
 	e.stats.DataNVMWrites++
 	e.dev.Write(addr, cipher)
-	e.dataMAC[addr] = macField
+	e.dataMAC.Set(addr/memline.Size, macField)
 }
 
 // PokeDataMAC overwrites the sideband MAC of a data line without
 // counting an access. Attack injection uses it together with
 // Device().Poke to replay old (data, MAC) tuples.
-func (e *Engine) PokeDataMAC(addr uint64, field uint64) { e.dataMAC[addr] = field }
+func (e *Engine) PokeDataMAC(addr uint64, field uint64) { e.dataMAC.Set(addr/memline.Size, field) }
 
 // PeekDataMAC returns the sideband MAC of a data line.
 func (e *Engine) PeekDataMAC(addr uint64) (uint64, bool) {
-	f, ok := e.dataMAC[addr]
-	return f, ok
+	return e.dataMAC.Get(addr / memline.Size)
 }
 
 // --- metadata cache management ----------------------------------------
@@ -345,21 +367,32 @@ func (e *Engine) parentCounterOf(id sit.NodeID) (uint64, error) {
 // verifying its MAC against the parent chain on the way in, and
 // returns its current content.
 func (e *Engine) fetchNode(id sit.NodeID) (counter.Node, error) {
+	ent, err := e.fetchNodeEntry(id)
+	if err != nil {
+		return counter.Node{}, err
+	}
+	return counter.Decode(ent.Data), nil
+}
+
+// fetchNodeEntry is fetchNode returning the cache entry itself. The
+// handle is valid until the next operation that can displace cache
+// lines; hot-path callers use it to avoid an immediate re-lookup.
+func (e *Engine) fetchNodeEntry(id sit.NodeID) (*cache.Entry, error) {
 	addr := e.geo.NodeAddr(id)
 	for tries := 0; tries < 64; tries++ {
 		if ent, ok := e.meta.Lookup(addr); ok {
-			return counter.Decode(ent.Data), nil
+			return ent, nil
 		}
 		pctr, err := e.parentCounterOf(id)
 		if err != nil {
-			return counter.Node{}, err
+			return nil, err
 		}
 		// Fetching the parent chain can flush dirty victims whose
 		// write-backs bump — and thereby re-fetch — this very node.
 		// The cached copy is then authoritative (it may already carry
 		// new counter bumps); the stale NVM image must not replace it.
 		if ent, ok := e.meta.Peek(addr); ok {
-			return counter.Decode(ent.Data), nil
+			return ent, nil
 		}
 		line, present := e.readMetaNVM(id)
 		var node counter.Node
@@ -367,26 +400,26 @@ func (e *Engine) fetchNode(id sit.NodeID) (counter.Node, error) {
 			node = counter.Decode(line)
 			want := e.NodeMACField(id, node.Counters, pctr)
 			if want != node.MACField {
-				return counter.Node{}, &IntegrityError{Addr: addr, Node: id,
+				return nil, &IntegrityError{Addr: addr, Node: id,
 					Detail: fmt.Sprintf("MAC mismatch (stored %#x, computed %#x)", node.MACField, want)}
 			}
 		} else {
 			if pctr != 0 {
-				return counter.Node{}, &IntegrityError{Addr: addr, Node: id,
+				return nil, &IntegrityError{Addr: addr, Node: id,
 					Detail: fmt.Sprintf("node missing from NVM but parent counter is %d", pctr)}
 			}
 			node.MACField = e.NodeMACField(id, node.Counters, 0)
 			line = node.Encode()
 		}
 		if _, err := e.insertMeta(id, line, &nodeAux{parentCtr: pctr, base: node.Counters}); err != nil {
-			return counter.Node{}, err
+			return nil, err
 		}
 		if ent, ok := e.meta.Peek(addr); ok {
-			return counter.Decode(ent.Data), nil
+			return ent, nil
 		}
 		// The insertion fallout displaced the node again; retry.
 	}
-	return counter.Node{}, fmt.Errorf("secmem: livelock fetching %v: metadata cache too small for the tree height", id)
+	return nil, fmt.Errorf("secmem: livelock fetching %v: metadata cache too small for the tree height", id)
 }
 
 // bumpSlot increments parent.Counters[slot] — the lazy SIT update
@@ -399,22 +432,25 @@ func (e *Engine) bumpSlot(parent sit.NodeID, slot int) (uint64, error) {
 		e.root.Counters[slot] = counter.Increment(e.root.Counters[slot])
 		return e.root.Counters[slot], nil
 	}
-	if _, err := e.fetchNode(parent); err != nil {
+	ent, err := e.fetchNodeEntry(parent)
+	if err != nil {
 		return 0, err
 	}
 	addr := e.geo.NodeAddr(parent)
-	ent, ok := e.meta.Peek(addr)
-	if !ok {
-		return 0, fmt.Errorf("secmem: parent %v vanished after fetch", parent)
-	}
 	aux := e.aux[addr]
 	node := counter.Decode(ent.Data)
 	node.Counters[slot] = counter.Increment(node.Counters[slot])
 	node.MACField = e.NodeMACField(parent, node.Counters, aux.parentCtr)
 	ent.Data = node.Encode()
 	set := e.meta.SetIndex(addr)
-	if _, transition := e.meta.MarkDirty(addr); transition {
+	// The dirty list is refreshed before the scheme hooks run: STAR's
+	// OnMetaModified reads DirtySetEntries and must see this line with
+	// its new MAC.
+	if transition := e.meta.MarkEntryDirty(ent); transition {
+		e.dirtyInsert(set, addr, node.MACField)
 		e.scheme.OnMetaDirty(parent, e.geo.MetaLineIndex(parent), set)
+	} else {
+		e.dirtyUpdate(set, addr, node.MACField)
 	}
 	e.scheme.OnMetaModified(parent, set)
 	newVal := node.Counters[slot]
@@ -483,8 +519,11 @@ func (e *Engine) FlushNode(id sit.NodeID) error {
 	aux := e.aux[addr]
 	aux.parentCtr = newPctr
 	aux.base = node.Counters
-	e.meta.CleanLine(addr)
-	e.scheme.OnMetaClean(id, e.geo.MetaLineIndex(id), e.meta.SetIndex(addr), false)
+	set := e.meta.SetIndex(addr)
+	if e.meta.CleanEntry(ent) {
+		e.dirtyRemove(set, addr)
+	}
+	e.scheme.OnMetaClean(id, e.geo.MetaLineIndex(id), set, false)
 	if err := e.scheme.OnChildPersisted(parent); err != nil {
 		return err
 	}
@@ -581,7 +620,7 @@ func (e *Engine) ReadLine(addr uint64) (memline.Line, error) {
 		return memline.Line{}, nil // never written: zero-initialized memory
 	}
 	want := e.DataMACField(addr, cipher, ctr)
-	if got := e.dataMAC[addr]; got != want {
+	if got, _ := e.dataMAC.Get(addr / memline.Size); got != want {
 		return memline.Line{}, &IntegrityError{Addr: addr, IsData: true,
 			Detail: fmt.Sprintf("data MAC mismatch (stored %#x, computed %#x)", got, want)}
 	}
@@ -598,6 +637,7 @@ func (e *Engine) Crash() {
 	e.meta.DropAll()
 	e.aux = make(map[uint64]*nodeAux)
 	e.pendingForced = nil
+	e.clearDirtySets()
 	e.scheme.OnCrash()
 }
 
@@ -608,16 +648,58 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 
 // DirtySetEntries returns the dirty metadata lines of one cache set in
 // ascending address order with their current MAC fields — exactly the
-// input of the cache-tree's set-MAC.
+// input of the cache-tree's set-MAC. The returned slice is the
+// engine's incrementally maintained list: it is valid until the next
+// engine operation and must not be modified or retained.
 func (e *Engine) DirtySetEntries(set int) []SetEntry {
-	var out []SetEntry
-	for _, ent := range e.meta.SetEntries(set) {
-		if ent.Dirty {
-			node := counter.Decode(ent.Data)
-			out = append(out, SetEntry{Addr: ent.Addr, MAC: node.MACField})
+	return e.dirtySets[set]
+}
+
+// dirtyInsert adds a line to its set's dirty list, keeping ascending
+// address order. Sets hold at most Ways entries, so a linear scan
+// beats anything fancier.
+func (e *Engine) dirtyInsert(set int, addr, mac uint64) {
+	list := append(e.dirtySets[set], SetEntry{})
+	i := len(list) - 1
+	for i > 0 && list[i-1].Addr > addr {
+		list[i] = list[i-1]
+		i--
+	}
+	list[i] = SetEntry{Addr: addr, MAC: mac}
+	e.dirtySets[set] = list
+}
+
+// dirtyUpdate refreshes the MAC of a line already in its set's dirty
+// list.
+func (e *Engine) dirtyUpdate(set int, addr, mac uint64) {
+	list := e.dirtySets[set]
+	for i := range list {
+		if list[i].Addr == addr {
+			list[i].MAC = mac
+			return
 		}
 	}
-	return out
+	panic(fmt.Sprintf("secmem: dirty line %#x missing from set %d dirty list", addr, set))
+}
+
+// dirtyRemove drops a cleaned line from its set's dirty list.
+func (e *Engine) dirtyRemove(set int, addr uint64) {
+	list := e.dirtySets[set]
+	for i := range list {
+		if list[i].Addr == addr {
+			e.dirtySets[set] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("secmem: cleaned line %#x missing from set %d dirty list", addr, set))
+}
+
+// clearDirtySets empties every set's dirty list (capacity kept), for
+// crash modeling and snapshot restore.
+func (e *Engine) clearDirtySets() {
+	for i := range e.dirtySets {
+		e.dirtySets[i] = e.dirtySets[i][:0]
+	}
 }
 
 // SetEntry mirrors cachetree.SetEntry without importing it (schemes

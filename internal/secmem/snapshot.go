@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 
 	"nvmstar/internal/counter"
 	"nvmstar/internal/memline"
@@ -39,22 +38,23 @@ func (e *Engine) SaveNonVolatile(w io.Writer) error {
 	if err := e.dev.Save(bw); err != nil {
 		return err
 	}
-	// Sideband MACs, sorted for deterministic images.
-	addrs := make([]uint64, 0, len(e.dataMAC))
-	for a := range e.dataMAC {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(addrs))); err != nil {
+	// Sideband MACs; Range iterates ascending, keeping images
+	// deterministic. The record format stays byte addresses.
+	if err := binary.Write(bw, binary.LittleEndian, uint64(e.dataMAC.Len())); err != nil {
 		return err
 	}
-	for _, a := range addrs {
-		if err := binary.Write(bw, binary.LittleEndian, a); err != nil {
-			return err
+	var werr error
+	e.dataMAC.Range(func(idx uint64, mac uint64) {
+		if werr != nil {
+			return
 		}
-		if err := binary.Write(bw, binary.LittleEndian, e.dataMAC[a]); err != nil {
-			return err
+		if werr = binary.Write(bw, binary.LittleEndian, idx*memline.Size); werr != nil {
+			return
 		}
+		werr = binary.Write(bw, binary.LittleEndian, mac)
+	})
+	if werr != nil {
+		return werr
 	}
 	// On-chip root register.
 	rootLine := e.root.Encode()
@@ -88,7 +88,7 @@ func (e *Engine) RestoreNonVolatile(r io.Reader) error {
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return err
 	}
-	e.dataMAC = make(map[uint64]uint64, n)
+	e.dataMAC.Clear()
 	for i := uint64(0); i < n; i++ {
 		var a, m uint64
 		if err := binary.Read(br, binary.LittleEndian, &a); err != nil {
@@ -97,7 +97,10 @@ func (e *Engine) RestoreNonVolatile(r io.Reader) error {
 		if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
 			return err
 		}
-		e.dataMAC[a] = m
+		if a%memline.Size != 0 || a/memline.Size >= e.dataMAC.Slots() {
+			return fmt.Errorf("secmem: snapshot contains invalid data-MAC address %#x", a)
+		}
+		e.dataMAC.Set(a/memline.Size, m)
 	}
 	var rootLine memline.Line
 	if _, err := io.ReadFull(br, rootLine[:]); err != nil {
@@ -113,5 +116,6 @@ func (e *Engine) RestoreNonVolatile(r io.Reader) error {
 	e.meta.DropAll()
 	e.aux = make(map[uint64]*nodeAux)
 	e.pendingForced = nil
+	e.clearDirtySets()
 	return nil
 }

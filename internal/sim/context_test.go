@@ -51,6 +51,32 @@ func TestRunCtxCancelMidRun(t *testing.T) {
 	}
 }
 
+func TestCancelMidPersist(t *testing.T) {
+	m, err := NewMachine(ctxTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.SetContext(ctx)
+	m.SetCore(0)
+	m.Store(0, []byte{1})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// A persist range this large walks lines for hours; only the
+	// in-loop cancellation poll can end it promptly.
+	m.Persist(0, 1<<50)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("Persist ran %v after cancellation", elapsed)
+	}
+	if !errors.Is(m.Err(), context.Canceled) {
+		t.Fatalf("machine error = %v, want context.Canceled", m.Err())
+	}
+}
+
 func TestRunCtxUncanceledMatchesRun(t *testing.T) {
 	m1, err := NewMachine(ctxTestConfig())
 	if err != nil {

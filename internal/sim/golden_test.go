@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nvmstar/internal/cache"
+)
+
+// updateGolden regenerates testdata/golden_results.json from the
+// current implementation:
+//
+//	go test ./internal/sim -run TestGoldenResults -update-golden
+//
+// Only do this for a change that is *meant* to alter measured results;
+// performance work must leave every cell bit-identical.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden results file")
+
+const goldenPath = "testdata/golden_results.json"
+
+// goldenCell is one (workload, scheme) row of the golden matrix.
+type goldenCell struct {
+	Workload string
+	Scheme   string
+	Results  *Results
+}
+
+func goldenConfig(scheme string) Config {
+	cfg := Default()
+	cfg.Cores = 2
+	cfg.DataBytes = 16 << 20
+	cfg.MetaCache = cache.Config{SizeBytes: 64 << 10, Ways: 8}
+	cfg.L3 = cache.Config{SizeBytes: 1 << 20, Ways: 8}
+	cfg.Scheme = scheme
+	return cfg
+}
+
+// TestGoldenResults locks every figure/table quantity to the values the
+// pre-optimization implementation produced: the paged NVM store, the
+// incremental set-MAC maintenance and the cache fast paths are pure
+// performance work, so each per-cell Results row must stay
+// reflect.DeepEqual to the recorded golden run.
+func TestGoldenResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix runs ten full cells")
+	}
+	const ops = 1200
+	var cells []goldenCell
+	for _, workload := range []string{"hash", "queue"} {
+		for _, scheme := range []string{"wb", "strict", "anubis", "phoenix", "star"} {
+			m, err := NewMachine(goldenConfig(scheme))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", workload, scheme, err)
+			}
+			res, err := m.Run(workload, ops)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", workload, scheme, err)
+			}
+			cells = append(cells, goldenCell{Workload: workload, Scheme: scheme, Results: res})
+		}
+	}
+
+	got, err := json.MarshalIndent(cells, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cells)", goldenPath, len(cells))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Pinpoint the diverging cells before failing.
+	var wantCells []goldenCell
+	if err := json.Unmarshal(want, &wantCells); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	var gotCells []goldenCell
+	if err := json.Unmarshal(got, &gotCells); err != nil {
+		t.Fatal(err)
+	}
+	if len(wantCells) != len(gotCells) {
+		t.Fatalf("golden matrix has %d cells, run produced %d", len(wantCells), len(gotCells))
+	}
+	for i := range wantCells {
+		if !reflect.DeepEqual(wantCells[i], gotCells[i]) {
+			t.Errorf("%s/%s diverged from the golden run:\nwant %+v\ngot  %+v",
+				wantCells[i].Workload, wantCells[i].Scheme, wantCells[i].Results, gotCells[i].Results)
+		}
+	}
+	if !t.Failed() {
+		t.Fatal("golden bytes differ but cells compare equal; regenerate the golden file")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"nvmstar/internal/cache"
 	"nvmstar/internal/memline"
 	"nvmstar/internal/nvm"
+	"nvmstar/internal/paged"
 	"nvmstar/internal/schemes/anubis"
 	"nvmstar/internal/schemes/phoenix"
 	"nvmstar/internal/schemes/star"
@@ -29,8 +30,9 @@ type Machine struct {
 	// owner tracks which core's private caches hold a line. The
 	// hierarchy is exclusive: exactly one copy of a line exists in the
 	// whole cache system (some L1, some L2, or L3), which stands in
-	// for a directory coherence protocol.
-	owner map[uint64]int
+	// for a directory coherence protocol. Keyed by line index in a
+	// paged table so the per-access directory lookup allocates nothing.
+	owner *paged.Table[int32]
 
 	coreNow []float64 // per-core clock, ns
 	instr   []uint64  // per-core retired instructions
@@ -76,7 +78,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{
 		cfg:      cfg,
-		owner:    make(map[uint64]int),
+		owner:    paged.New[int32](cfg.DataBytes / memline.Size),
 		coreNow:  make([]float64, cfg.Cores),
 		instr:    make([]uint64, cfg.Cores),
 		wqDone:   make([]float64, cfg.WriteQueue),
@@ -112,9 +114,16 @@ func NewMachine(cfg Config) (*Machine, error) {
 		}
 		m.engine.SetScheme(s)
 	case "star":
+		// An all-zero Bitmap config means "use the paper's default". A
+		// partially specified one is a caller mistake — silently
+		// replacing it would run with sizes the caller never asked for.
 		bm := cfg.Bitmap
-		if bm.ADRL1Lines == 0 {
+		if bm == (bitmap.Config{}) {
 			bm = bitmap.DefaultConfig()
+		} else if bm.ADRL1Lines <= 0 || bm.ADRL2Lines <= 0 {
+			return nil, fmt.Errorf(
+				"sim: partial Bitmap config %+v: set both ADRL1Lines and ADRL2Lines, or leave both zero for the default %+v",
+				cfg.Bitmap, bitmap.DefaultConfig())
 		}
 		s, err := star.New(m.engine, bm)
 		if err != nil {
@@ -287,10 +296,31 @@ func (m *Machine) ensureL1(c int, addr uint64) *cache.Entry {
 		}
 		data, dirty = line, false
 	}
-	m.owner[addr] = c
+	m.setOwner(addr, c)
 	return m.l1[c].Insert(addr, data, dirty, func(va uint64, vd memline.Line, vdirty bool) {
 		m.demoteToL2(c, va, vd, vdirty)
 	})
+}
+
+// setOwner records that core c's private caches hold addr. Addresses
+// beyond the data region (only reachable after an out-of-range access
+// already made the run fatal) are not tracked, matching Get's
+// out-of-capacity absence.
+func (m *Machine) setOwner(addr uint64, c int) {
+	if idx := addr / memline.Size; idx < m.owner.Slots() {
+		m.owner.Set(idx, int32(c))
+	}
+}
+
+func (m *Machine) ownerOf(addr uint64) (int, bool) {
+	o, ok := m.owner.Get(addr / memline.Size)
+	return int(o), ok
+}
+
+func (m *Machine) deleteOwner(addr uint64) {
+	if idx := addr / memline.Size; idx < m.owner.Slots() {
+		m.owner.Delete(idx)
+	}
 }
 
 // takeFrom extracts a line from a cache if present (exclusive move).
@@ -306,7 +336,7 @@ func (m *Machine) takeFrom(from *cache.Cache, addr uint64, data *memline.Line, d
 // takeFromOtherCore migrates a line out of another core's private
 // caches (directory lookup).
 func (m *Machine) takeFromOtherCore(c int, addr uint64, data *memline.Line, dirty *bool) bool {
-	o, ok := m.owner[addr]
+	o, ok := m.ownerOf(addr)
 	if !ok || o == c {
 		return false
 	}
@@ -317,14 +347,14 @@ func (m *Machine) takeFromOtherCore(c int, addr uint64, data *memline.Line, dirt
 }
 
 func (m *Machine) demoteToL2(c int, addr uint64, data memline.Line, dirty bool) {
-	m.owner[addr] = c
+	m.setOwner(addr, c)
 	m.l2[c].Insert(addr, data, dirty, func(va uint64, vd memline.Line, vdirty bool) {
 		m.demoteToL3(va, vd, vdirty)
 	})
 }
 
 func (m *Machine) demoteToL3(addr uint64, data memline.Line, dirty bool) {
-	delete(m.owner, addr)
+	m.deleteOwner(addr)
 	m.l3.Insert(addr, data, dirty, func(va uint64, vd memline.Line, vdirty bool) {
 		if vdirty {
 			if err := m.engine.WriteLine(va, vd); err != nil {
@@ -337,7 +367,7 @@ func (m *Machine) demoteToL3(addr uint64, data memline.Line, dirty bool) {
 // locate finds a line anywhere in the hierarchy without moving it.
 func (m *Machine) locate(addr uint64) (*cache.Entry, *cache.Cache) {
 	addr = memline.Align(addr)
-	if o, ok := m.owner[addr]; ok {
+	if o, ok := m.ownerOf(addr); ok {
 		if e, ok := m.l1[o].Peek(addr); ok {
 			return e, m.l1[o]
 		}
@@ -377,7 +407,7 @@ func (m *Machine) Store(addr uint64, data []byte) {
 		off := memline.Offset(addr)
 		n := copy(e.Data[off:], data)
 		if !e.Dirty {
-			m.l1[c].MarkDirty(addr)
+			m.l1[c].MarkEntryDirty(e)
 		}
 		data = data[n:]
 		addr += uint64(n)
@@ -393,15 +423,29 @@ func (m *Machine) Persist(addr uint64, size int) {
 		return
 	}
 	first := memline.Align(addr)
-	last := memline.Align(addr + uint64(size) - 1)
+	// Clamp the last covered byte: addr+size-1 can wrap uint64, and a
+	// wrapped `last` below `first` would make the line walk circle the
+	// whole 64-bit space before terminating.
+	end := addr + uint64(size) - 1
+	if end < addr {
+		end = ^uint64(0)
+	}
+	last := memline.Align(end)
 	for line := first; ; line += memline.Size {
+		// Large flushes run this loop far longer than one Load/Store;
+		// poll so cancellation can abort mid-walk, not only between
+		// operations.
+		m.pollCtx()
+		if m.err != nil {
+			return
+		}
 		m.instr[c] += instrPerPersist
 		if e, holder := m.locate(line); e != nil && e.Dirty {
 			m.charge(c, m.cfg.MCLatNs)
 			if err := m.engine.WriteLine(line, e.Data); err != nil {
 				m.setErr(err)
 			}
-			holder.CleanLine(line)
+			holder.CleanEntry(e)
 		}
 		if line == last {
 			break
@@ -445,7 +489,7 @@ func (m *Machine) Crash() {
 		m.l2[i].DropAll()
 	}
 	m.l3.DropAll()
-	m.owner = make(map[uint64]int)
+	m.owner.Clear()
 	m.engine.Crash()
 }
 

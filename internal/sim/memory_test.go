@@ -2,7 +2,9 @@ package sim_test
 
 import (
 	"testing"
+	"time"
 
+	"nvmstar/internal/bitmap"
 	"nvmstar/internal/memline"
 	"nvmstar/internal/sim"
 )
@@ -89,6 +91,52 @@ func TestPersistRangeCoversAllLines(t *testing.T) {
 		if b != 7 {
 			t.Fatalf("byte %d lost (= %d)", i, b)
 		}
+	}
+}
+
+func TestPersistWrappingRangeTerminates(t *testing.T) {
+	m := newMachine(t, "wb")
+	m.Store(0, []byte{5})
+	// addr+size-1 wraps uint64; the walk must clamp to the top of the
+	// address space instead of circling through zero forever.
+	done := make(chan struct{})
+	go func() {
+		m.Persist(^uint64(0)-100, 4096)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("Persist with a wrapping range did not terminate")
+	}
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+}
+
+func TestNewMachinePartialBitmapConfigRejected(t *testing.T) {
+	cfg := testCfg("star")
+	cfg.Bitmap = bitmap.Config{ADRL2Lines: 2}
+	if _, err := sim.NewMachine(cfg); err == nil {
+		t.Fatal("Bitmap config with only ADRL2Lines accepted")
+	}
+	cfg.Bitmap = bitmap.Config{ADRL1Lines: 14}
+	if _, err := sim.NewMachine(cfg); err == nil {
+		t.Fatal("Bitmap config with only ADRL1Lines accepted")
+	}
+	cfg.Bitmap = bitmap.Config{} // both zero: the documented default
+	if _, err := sim.NewMachine(cfg); err != nil {
+		t.Fatalf("zero Bitmap config rejected: %v", err)
+	}
+	cfg.Bitmap = bitmap.DefaultConfig()
+	if _, err := sim.NewMachine(cfg); err != nil {
+		t.Fatalf("default Bitmap config rejected: %v", err)
+	}
+	// Other schemes ignore the bitmap allocation entirely.
+	cfg = testCfg("wb")
+	cfg.Bitmap = bitmap.Config{ADRL2Lines: 2}
+	if _, err := sim.NewMachine(cfg); err != nil {
+		t.Fatalf("non-STAR scheme rejected a Bitmap config it does not use: %v", err)
 	}
 }
 

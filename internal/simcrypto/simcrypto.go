@@ -49,9 +49,13 @@ type Suite interface {
 	// pad is never reused because each write increments the counter.
 	OTP(lineAddr, counter uint64) memline.Line
 
-	// MAC returns a 64-bit keyed MAC over the given parts. Callers
-	// truncate to 54 bits where the layout requires it.
-	MAC(parts ...[]byte) uint64
+	// MAC returns a 64-bit keyed MAC over msg. Callers truncate to 54
+	// bits where the layout requires it. The signature takes a single
+	// slice (callers concatenate fields themselves, typically into a
+	// reused buffer): a variadic parameter would allocate a [][]byte
+	// header on every call through the interface, and MAC sits on the
+	// simulator's per-access hot path.
+	MAC(msg []byte) uint64
 }
 
 // XORLine XORs src with pad into a new line. It is the shared
@@ -121,12 +125,10 @@ func (s *realSuite) OTP(lineAddr, counter uint64) memline.Line {
 	return pad
 }
 
-func (s *realSuite) MAC(parts ...[]byte) uint64 {
+func (s *realSuite) MAC(msg []byte) uint64 {
 	h := sha256.New()
 	h.Write(s.macKey[:])
-	for _, p := range parts {
-		h.Write(p)
-	}
+	h.Write(msg)
 	var sum [sha256.Size]byte
 	return binary.LittleEndian.Uint64(h.Sum(sum[:0])[:8])
 }
@@ -164,22 +166,15 @@ func (s *fastSuite) OTP(lineAddr, counter uint64) memline.Line {
 	return pad
 }
 
-func (s *fastSuite) MAC(parts ...[]byte) uint64 {
+func (s *fastSuite) MAC(msg []byte) uint64 {
 	h := s.k0
-	var chunk [8]byte
-	fill := 0
-	for _, p := range parts {
-		for len(p) > 0 {
-			n := copy(chunk[fill:], p)
-			p = p[n:]
-			fill += n
-			if fill == 8 {
-				h = mix64(h ^ binary.LittleEndian.Uint64(chunk[:]))
-				fill = 0
-			}
-		}
+	for len(msg) >= 8 {
+		h = mix64(h ^ binary.LittleEndian.Uint64(msg))
+		msg = msg[8:]
 	}
-	if fill > 0 {
+	if fill := len(msg); fill > 0 {
+		var chunk [8]byte
+		copy(chunk[:], msg)
 		for i := fill; i < 8; i++ {
 			chunk[i] = byte(fill)
 		}

@@ -75,20 +75,20 @@ func TestMACDeterministicAndSensitive(t *testing.T) {
 		if m1 == s.MAC([]byte("hellp")) {
 			t.Errorf("%s: MAC insensitive to input change", name)
 		}
-		if m1 == s.MAC([]byte("hello"), []byte("x")) {
-			t.Errorf("%s: MAC insensitive to extra part", name)
+		if m1 == s.MAC([]byte("hellox")) {
+			t.Errorf("%s: MAC insensitive to extra byte", name)
 		}
 	}
 }
 
-func TestMACPartBoundariesIrrelevant(t *testing.T) {
-	// MAC must depend on the byte stream, not on how it is split into
-	// parts — recovery recomputes MACs from differently shaped inputs.
+func TestMACLengthSensitive(t *testing.T) {
+	// Inputs that differ only by trailing padding-like bytes must not
+	// collide: the tail chunk encodes the residual length.
 	for name, s := range suites() {
-		a := s.MAC([]byte("abcdefgh"), []byte("ijklmnop"))
-		b := s.MAC([]byte("abcd"), []byte("efghijklmnop"))
-		if a != b {
-			t.Errorf("%s: MAC depends on part boundaries", name)
+		a := s.MAC([]byte("abcdefgh"))
+		b := s.MAC([]byte("abcdefgh\x00"))
+		if a == b {
+			t.Errorf("%s: MAC insensitive to trailing zero byte", name)
 		}
 	}
 }
