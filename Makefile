@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json report examples vet fmt clean race verify
+.PHONY: all build test test-short bench bench-json bench-parallel report examples vet fmt clean race verify
 
 all: verify
 
@@ -46,6 +46,15 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineWriteLine|BenchmarkRunnerMatrix' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_hotpath.json
 	@cat BENCH_hotpath.json
+
+# Scaling numbers for the parallel runner with per-worker machine
+# reuse, committed as BENCH_parallel.json: wall time, allocations and
+# the speedup-vs-seq metric at pool widths 1/2/4 (meaningful only on a
+# multi-core machine).
+bench-parallel:
+	$(GO) test -run '^$$' -bench BenchmarkRunnerMatrix -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
+	@cat BENCH_parallel.json
 
 # Regenerate the evaluation tables (Figs. 10-14, Table II).
 evaluation:

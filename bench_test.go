@@ -331,13 +331,20 @@ func BenchmarkAblationCacheTree(b *testing.B) {
 	})
 }
 
+// runnerSeqNs holds BenchmarkRunnerMatrix's parallel=1 ns/op so the
+// wider sub-benchmarks (which run after it, in order) can report their
+// speedup over it. Benchmark state, not safe outside that benchmark.
+var runnerSeqNs float64
+
 // BenchmarkRunnerMatrix measures the wall-clock of a full
 // four-scheme x three-workload sweep through the parallel experiment
-// runner at several pool widths. On a multi-core machine the per-cell
-// independence makes the sweep scale close to linearly until the pool
-// exceeds the matrix or the cores (the acceptance target is <= 0.5x
-// the sequential wall time with 4 workers on 4+ cores); per-cell
-// results are bit-identical at every width.
+// runner at several pool widths, reporting each width's speedup over
+// the sequential run of the same process via `speedup-vs-seq`. On a
+// multi-core machine the per-cell independence and per-worker machine
+// reuse make the sweep scale close to linearly until the pool exceeds
+// the matrix or the cores (the acceptance target is >= 2x with 4
+// workers on 4+ cores); per-cell results are bit-identical at every
+// width.
 func BenchmarkRunnerMatrix(b *testing.B) {
 	for _, par := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
@@ -351,6 +358,13 @@ func BenchmarkRunnerMatrix(b *testing.B) {
 				if _, err := r.SchemeComparison(context.Background(), nil); err != nil {
 					b.Fatal(err)
 				}
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if par == 1 {
+				runnerSeqNs = perOp
+			}
+			if runnerSeqNs > 0 {
+				b.ReportMetric(runnerSeqNs/perOp, "speedup-vs-seq")
 			}
 		})
 	}

@@ -168,6 +168,18 @@ func (p *Pool) Access(id uint64) *Words {
 	return &victim.words
 }
 
+// Reset restores the pool to its just-constructed state — every slot
+// invalid, LRU clock and statistics zeroed — without spilling resident
+// lines (the caller is discarding the whole simulated machine state,
+// backing store included). Load and spill functions are kept.
+func (p *Pool) Reset() {
+	for i := range p.slots {
+		p.slots[i] = slot{}
+	}
+	p.clock = 0
+	p.stats = Stats{}
+}
+
 // Peek returns the resident line for id without LRU or stat effects.
 func (p *Pool) Peek(id uint64) (*Words, bool) {
 	for i := range p.slots {

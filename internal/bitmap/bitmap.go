@@ -193,6 +193,18 @@ func (t *Tracker) Stats() Stats {
 	return Stats{L1: t.l1.Stats(), L2: t.l2.Stats(), SetOps: t.setOps, ClearOps: t.clearOps}
 }
 
+// Reset restores the tracker to its just-constructed state: both ADR
+// pools emptied (without spilling — the whole machine is being
+// discarded), the on-chip L3 register and the transition counters
+// zeroed. The RA lines previously spilled to NVM are not the tracker's
+// to clean up; the machine reset clears the whole device store.
+func (t *Tracker) Reset() {
+	t.l1.Reset()
+	t.l2.Reset()
+	t.l3 = adr.Words{}
+	t.setOps, t.clearOps = 0, 0
+}
+
 // Crash performs the power-fail battery dump: every ADR-resident
 // bitmap line is flushed to the RA out of band (Poke: the flush is not
 // part of the measured run). The L3 register survives on chip.

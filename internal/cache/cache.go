@@ -345,6 +345,17 @@ func (c *Cache) DropAll() {
 	c.dirty = 0
 }
 
+// Reset restores the cache to its just-constructed state — every line
+// invalid, LRU clock and statistics zeroed — reusing the entry backing
+// array. The LRU clock must rewind along with the entries: victim
+// selection compares stamps, so a stale clock would change eviction
+// order relative to a fresh cache.
+func (c *Cache) Reset() {
+	c.DropAll()
+	c.clock = 0
+	c.stats = Stats{}
+}
+
 // Range calls fn for every valid entry. Iteration order is by set then
 // way, which is deterministic.
 func (c *Cache) Range(fn func(e *Entry)) {

@@ -77,6 +77,24 @@ func New(suite simcrypto.Suite, numSets int) (*Tree, error) {
 	return t, nil
 }
 
+// Reset restores the tree to its just-constructed state over suite,
+// reusing the level storage. Machine reuse re-derives the per-seed
+// crypto suite, so the new suite is taken here rather than kept. The
+// body mirrors New exactly — stats are zeroed first and the empty-state
+// interior nodes are then recomputed through hashChildren, so the
+// NodeHashes counter ends at the same nonzero value a fresh tree
+// carries (the golden corpus includes these counters).
+func (t *Tree) Reset(suite simcrypto.Suite) {
+	t.suite = suite
+	t.stats = Stats{}
+	clear(t.levels[0])
+	for l := 0; l+1 < len(t.levels); l++ {
+		for i := range t.levels[l+1] {
+			t.levels[l+1][i] = t.hashChildren(l, i)
+		}
+	}
+}
+
 // NumSets returns the leaf count.
 func (t *Tree) NumSets() int { return t.numSets }
 

@@ -17,10 +17,13 @@ import (
 // Runner executes the evaluation's (workload, scheme, seed) cell
 // matrix over a bounded worker pool. The cells of the paper's sweeps
 // are fully independent deterministic simulator runs, so the matrix
-// parallelizes perfectly: every worker constructs its own sim.Machine,
+// parallelizes perfectly: every worker keeps a private pool of
+// machines (one per distinct configuration, Reset between cells),
 // preserving the simulator's single-goroutine invariant per cell, and
 // every result lands in a slot fixed by its cell index — output is
-// bit-identical to a sequential sweep regardless of scheduling.
+// bit-identical to a sequential fresh-machine sweep regardless of
+// scheduling, because Machine.Reset(seed) is equivalent to building a
+// new machine with that seed.
 type Runner struct {
 	ops       int
 	seeds     int
@@ -177,9 +180,9 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 		ctx = context.Background()
 	}
 	out := make([]CellResult, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
 		start := time.Now()
-		res, runErr := r.runSeed(ctx, cells[i])
+		res, runErr := r.runSeed(ctx, mp, cells[i])
 		out[i] = CellResult{Cell: cells[i], Results: res, Err: runErr, Wall: time.Since(start)}
 		if runErr != nil && ctx.Err() != nil {
 			return ctx.Err()
@@ -199,9 +202,9 @@ func (r *Runner) Stream(ctx context.Context, cells []Cell) <-chan CellResult {
 	ch := make(chan CellResult)
 	go func() {
 		defer close(ch)
-		r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+		r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
 			start := time.Now()
-			res, runErr := r.runSeed(ctx, cells[i])
+			res, runErr := r.runSeed(ctx, mp, cells[i])
 			cr := CellResult{Cell: cells[i], Results: res, Err: runErr, Wall: time.Since(start)}
 			select {
 			case ch <- cr:
@@ -219,13 +222,52 @@ func (r *Runner) Stream(ctx context.Context, cells []Cell) <-chan CellResult {
 
 // --- pool ----------------------------------------------------------------
 
-// forEach runs job(i) for every cell over at most r.parallel workers.
-// cells is used only to label progress reports; each job owns slot i
-// of whatever output it writes, which keeps assembled output
-// deterministic. The first non-nil job error cancels the remaining
-// cells and is returned; otherwise the (possibly canceled) context's
-// error is.
-func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx context.Context, i int) error) error {
+// machinePool caches one sim.Machine per distinct configuration for a
+// single pool worker. Rebuilding a machine per cell dominated sweep
+// cost (the NVM paged store, caches and engine are re-allocated from
+// scratch, hammering the allocator shared by every worker); recycling
+// via Machine.Reset makes the steady-state sweep allocation-light.
+// Each worker goroutine owns exactly one pool, so machines never cross
+// goroutines and the simulator's single-goroutine invariant holds.
+type machinePool struct {
+	machines map[string]*sim.Machine
+}
+
+// machine returns a machine for cfg, reusing (and Resetting) a cached
+// one when the configuration — everything except the seed, which Reset
+// re-derives — has been seen before. A caller-supplied crypto suite
+// may be stateful and is not fingerprintable, so that rare case falls
+// back to a fresh machine per cell.
+func (p *machinePool) machine(cfg sim.Config) (*sim.Machine, error) {
+	if cfg.Suite != nil {
+		return sim.NewMachine(cfg)
+	}
+	seed := cfg.Seed
+	cfg.Seed = 0
+	key := fmt.Sprintf("%+v", cfg)
+	if m, ok := p.machines[key]; ok {
+		m.Reset(seed)
+		return m, nil
+	}
+	cfg.Seed = seed
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.machines == nil {
+		p.machines = make(map[string]*sim.Machine)
+	}
+	p.machines[key] = m
+	return m, nil
+}
+
+// forEach runs job(i) for every cell over at most r.parallel workers,
+// handing each worker its own machinePool. cells is used only to label
+// progress reports; each job owns slot i of whatever output it writes,
+// which keeps assembled output deterministic. The first non-nil job
+// error cancels the remaining cells and is returned; otherwise the
+// (possibly canceled) context's error is.
+func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx context.Context, mp *machinePool, i int) error) error {
 	if len(cells) == 0 {
 		return parent.Err()
 	}
@@ -260,9 +302,10 @@ func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx cont
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			mp := &machinePool{}
 			for i := range idx {
 				cellStart := time.Now()
-				err := job(ctx, i)
+				err := job(ctx, mp, i)
 
 				mu.Lock()
 				done++
@@ -321,31 +364,55 @@ func (r *Runner) opsFor(scheme string) int {
 	return r.ops
 }
 
-// runSeed executes one single-seed cell.
-func (r *Runner) runSeed(ctx context.Context, c Cell) (*sim.Results, error) {
+// runSeed executes one single-seed cell on a pooled machine.
+func (r *Runner) runSeed(ctx context.Context, mp *machinePool, c Cell) (*sim.Results, error) {
 	cfg := r.cfg()
 	cfg.Scheme = c.Scheme
 	cfg.Seed += uint64(c.Seed) * 7919
-	res, _, err := sim.RunScenarioCtx(ctx, cfg, c.Workload, r.opsFor(c.Scheme))
-	return res, err
+	m, err := mp.machine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunCtx(ctx, c.Workload, r.opsFor(c.Scheme))
+}
+
+// crashRun is the shared crash-experiment cell: run the workload on a
+// pooled machine without the trailing verification sweep (whose read
+// misses would evict — and thereby persist — every dirty metadata
+// line, leaving nothing stale to recover), then crash. The caller
+// drives recovery on the returned machine; Reset fully rewinds a
+// crashed-and-recovered machine, so crash cells recycle machines like
+// ordinary cells.
+func (r *Runner) crashRun(ctx context.Context, mp *machinePool, cfg sim.Config, workloadName string) (*sim.Machine, error) {
+	m, err := mp.machine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.RunUnverifiedCtx(ctx, workloadName, r.opsFor(cfg.Scheme)); err != nil {
+		return nil, err
+	}
+	m.Crash()
+	return m, nil
 }
 
 // runAveraged executes one (workload, scheme) cell, averaging its
 // counters over the runner's seed count exactly as the legacy
 // sequential path did (seed loop inside the cell, identical
 // accumulation order), so seed-averaged values stay bit-identical.
-func (r *Runner) runAveraged(ctx context.Context, name, scheme string) (*sim.Results, *sim.Machine, error) {
+func (r *Runner) runAveraged(ctx context.Context, mp *machinePool, name, scheme string) (*sim.Results, error) {
 	var acc *sim.Results
-	var lastM *sim.Machine
 	for s := 0; s < r.seeds; s++ {
 		cfg := r.cfg()
 		cfg.Scheme = scheme
 		cfg.Seed += uint64(s) * 7919
-		res, m, err := sim.RunScenarioCtx(ctx, cfg, name, r.opsFor(scheme))
+		m, err := mp.machine(cfg)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		lastM = m
+		res, err := m.RunCtx(ctx, name, r.opsFor(scheme))
+		if err != nil {
+			return nil, err
+		}
 		if acc == nil {
 			acc = res
 			continue
@@ -401,7 +468,7 @@ func (r *Runner) runAveraged(ctx context.Context, name, scheme string) (*sim.Res
 			acc.Bitmap.L2.Fills /= n
 		}
 	}
-	return acc, lastM, nil
+	return acc, nil
 }
 
 // --- figure sweeps -------------------------------------------------------
@@ -419,8 +486,8 @@ func (r *Runner) Fig10(ctx context.Context) ([]Fig10Row, error) {
 		}
 	}
 	results := make([]*sim.Results, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
-		res, _, err := r.runAveraged(ctx, cells[i].Workload, cells[i].Scheme)
+	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
+		res, err := r.runAveraged(ctx, mp, cells[i].Workload, cells[i].Scheme)
 		results[i] = res
 		return err
 	})
@@ -461,8 +528,8 @@ func (r *Runner) SchemeComparison(ctx context.Context, schemes []string) ([]Sche
 		}
 	}
 	results := make([]*sim.Results, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
-		res, _, err := r.runAveraged(ctx, cells[i].Workload, cells[i].Scheme)
+	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
+		res, err := r.runAveraged(ctx, mp, cells[i].Workload, cells[i].Scheme)
 		results[i] = res
 		return err
 	})
@@ -521,12 +588,16 @@ func (r *Runner) Table2(ctx context.Context, lineCounts []int) ([]Table2Row, err
 		}
 	}
 	ratios := make([]float64, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
 		p := points[i/len(workloads)]
 		cfg := r.cfg()
 		cfg.Scheme = "star"
 		cfg.Bitmap = bitmap.Config{ADRL1Lines: p.lines - p.l2, ADRL2Lines: p.l2}
-		res, _, err := sim.RunScenarioCtx(ctx, cfg, cells[i].Workload, r.opsFor("star"))
+		m, err := mp.machine(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := m.RunCtx(ctx, cells[i].Workload, r.opsFor("star"))
 		if err != nil {
 			return err
 		}
@@ -560,8 +631,8 @@ func (r *Runner) Fig14a(ctx context.Context) ([]Fig14aRow, error) {
 		cells[i] = Cell{Workload: name, Scheme: "star"}
 	}
 	rows := make([]Fig14aRow, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
-		res, _, err := r.runAveraged(ctx, cells[i].Workload, "star")
+	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
+		res, err := r.runAveraged(ctx, mp, cells[i].Workload, "star")
 		if err != nil {
 			return err
 		}
@@ -593,20 +664,16 @@ func (r *Runner) Fig14b(ctx context.Context, cacheSizes []int) ([]Fig14bRow, err
 		stale   int
 	}
 	recs := make([]rec, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
 		size := cacheSizes[i/len(schemes)]
 		scheme := schemes[i%len(schemes)]
 		cfg := r.cfg()
 		cfg.Scheme = scheme
 		cfg.MetaCache = cache.Config{SizeBytes: size, Ways: 8}
-		m, err := sim.NewMachine(cfg)
+		m, err := r.crashRun(ctx, mp, cfg, "hash")
 		if err != nil {
 			return err
 		}
-		if _, err := m.RunUnverifiedCtx(ctx, "hash", r.opsFor(scheme)); err != nil {
-			return err
-		}
-		m.Crash()
 		rep, err := m.Recover()
 		if err != nil {
 			return err
@@ -644,18 +711,14 @@ func (r *Runner) AblationIndex(ctx context.Context) ([]AblationIndexRow, error) 
 		secs  float64
 	}
 	recs := make([]rec, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, i int) error {
+	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
 		flat := i%2 == 1
 		cfg := r.cfg()
 		cfg.Scheme = "star"
-		m, err := sim.NewMachine(cfg)
+		m, err := r.crashRun(ctx, mp, cfg, cells[i].Workload)
 		if err != nil {
 			return err
 		}
-		if _, err := m.RunUnverifiedCtx(ctx, cells[i].Workload, r.opsFor("star")); err != nil {
-			return err
-		}
-		m.Crash()
 		s := m.Engine().Scheme().(*star.Scheme)
 		if flat {
 			rep, err := s.RecoverFlatScan()

@@ -101,6 +101,42 @@ func TestRunnerDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunnerMachineReuseMatchesFresh pins the machine pool against the
+// ground truth the pool is supposed to be invisible relative to: for
+// every cell of a sweep that forces heavy per-worker reuse (many cells,
+// few distinct configurations, 2 workers), a machine built from scratch
+// for exactly that cell must produce bit-identical Results.
+func TestRunnerMachineReuseMatchesFresh(t *testing.T) {
+	ctx := context.Background()
+	r := fastRunner(2)
+	cells := r.Matrix([]string{"array", "queue"}, []string{"wb", "star", "strict"})
+	got, err := r.Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cr := range got {
+		if cr.Err != nil {
+			t.Fatalf("cell %v: %v", cells[i], cr.Err)
+		}
+		cfg := fastRunner(1).cfg()
+		cfg.Scheme = cells[i].Scheme
+		cfg.Seed += uint64(cells[i].Seed) * 7919
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("cell %v: fresh machine: %v", cells[i], err)
+		}
+		ops := r.opsFor(cells[i].Scheme)
+		want, err := m.Run(cells[i].Workload, ops)
+		if err != nil {
+			t.Fatalf("cell %v: fresh run: %v", cells[i], err)
+		}
+		if !reflect.DeepEqual(want, cr.Results) {
+			t.Errorf("cell %v: pooled results differ from a fresh machine:\nfresh  %+v\npooled %+v",
+				cells[i], want, cr.Results)
+		}
+	}
+}
+
 // TestRunnerShimEquivalence pins the deprecated Options entry points
 // to the Runner: migrating a caller mechanically must not change
 // values.
@@ -181,7 +217,7 @@ func TestRunnerPoolBounding(t *testing.T) {
 	r := NewRunner(WithParallelism(width))
 	cells := make([]Cell, 32)
 	var cur, peak int64
-	err := r.forEach(context.Background(), cells, func(ctx context.Context, i int) error {
+	err := r.forEach(context.Background(), cells, func(ctx context.Context, _ *machinePool, i int) error {
 		n := atomic.AddInt64(&cur, 1)
 		for {
 			p := atomic.LoadInt64(&peak)

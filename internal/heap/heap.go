@@ -41,6 +41,12 @@ type Heap struct {
 	limit uint64
 	brk   uint64
 	free  map[int][]uint64 // size class -> free addresses
+	// u64buf backs ReadU64/WriteU64. A local buffer would escape
+	// through the Memory interface and allocate on every typed access —
+	// the dominant allocation source across a full experiment sweep.
+	// The heap is single-goroutine, like the machine under it, so one
+	// scratch buffer is safe.
+	u64buf [8]byte
 }
 
 // New creates a heap over [base, base+size).
@@ -103,16 +109,14 @@ func (h *Heap) Free(addr uint64, size int) {
 
 // ReadU64 loads a little-endian uint64.
 func (h *Heap) ReadU64(addr uint64) uint64 {
-	var buf [8]byte
-	h.mem.Load(addr, buf[:])
-	return binary.LittleEndian.Uint64(buf[:])
+	h.mem.Load(addr, h.u64buf[:])
+	return binary.LittleEndian.Uint64(h.u64buf[:])
 }
 
 // WriteU64 stores a little-endian uint64.
 func (h *Heap) WriteU64(addr, v uint64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	h.mem.Store(addr, buf[:])
+	binary.LittleEndian.PutUint64(h.u64buf[:], v)
+	h.mem.Store(addr, h.u64buf[:])
 }
 
 // ReadBytes loads n bytes.

@@ -187,6 +187,16 @@ func (d *Device) Stats() Stats { return d.stats }
 // ResetStats zeroes the counters (e.g. after a warm-up phase).
 func (d *Device) ResetStats() { d.stats = Stats{} }
 
+// Reset restores the device to its just-constructed state: the line
+// store and wear counters are emptied (the paged store retains its
+// pages for reuse) and the statistics zeroed. The access hook and
+// configuration are kept — machine reuse resets the device it already
+// wired up.
+func (d *Device) Reset() {
+	d.store.reset()
+	d.stats = Stats{}
+}
+
 // Wear returns the write count of the line at addr. It is zero unless
 // TrackWear was enabled.
 func (d *Device) Wear(addr uint64) uint64 { return d.store.wear(addr) }

@@ -93,7 +93,8 @@ func (t *Table[V]) Get(idx uint64) (V, bool) {
 // Ref returns a pointer to the slot's value, marking it present and
 // allocating its page if needed. isNew reports whether the slot was
 // absent before the call. The pointer stays valid for the lifetime of
-// the table (pages are never freed except by Clear).
+// the table (pages are never freed), though Clear zeroes the value it
+// refers to.
 func (t *Table[V]) Ref(idx uint64) (ref *V, isNew bool) {
 	if idx >= t.slots {
 		panic(fmt.Sprintf("paged: slot %d beyond capacity %d", idx, t.slots))
@@ -177,8 +178,33 @@ func (t *Table[V]) Range(fn func(idx uint64, v V)) {
 	}
 }
 
-// Clear removes every slot, releasing all pages.
+// Clear removes every slot. Pages are retained and zeroed rather than
+// freed — O(allocated pages), skipping pages with nothing present — so
+// a table that is cleared and refilled with a similar working set
+// allocates nothing. Machine reuse across experiment cells depends on
+// this: the NVM line store is Cleared per cell instead of rebuilt.
 func (t *Table[V]) Clear() {
-	t.dirs = make([]*dir[V], len(t.dirs))
+	for _, d := range t.dirs {
+		if d == nil {
+			continue
+		}
+		for _, p := range d.pages {
+			if p == nil {
+				continue
+			}
+			occupied := false
+			for _, w := range p.present {
+				if w != 0 {
+					occupied = true
+					break
+				}
+			}
+			if !occupied {
+				continue
+			}
+			p.present = [presentWords]uint64{}
+			clear(p.vals[:])
+		}
+	}
 	t.count = 0
 }

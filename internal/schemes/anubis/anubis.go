@@ -147,6 +147,15 @@ func (s *Scheme) OnChildPersisted(parent sit.NodeID) error {
 // the on-chip root register survives (it was maintained all along).
 func (s *Scheme) OnCrash() { s.stRoot = s.stTree.Root() }
 
+// Reset implements secmem.Scheme: restore just-constructed state for
+// machine reuse. The ST region itself lives in NVM and is cleared by
+// the engine's device reset; the volatile tree over it rewinds here.
+func (s *Scheme) Reset() {
+	s.stTree.Reset(s.e.Suite())
+	s.stRoot = 0
+	s.stats = Stats{}
+}
+
 // SaveRegisters implements secmem.RegisterPersister: Anubis's only
 // on-chip non-volatile state is the shadow-table merkle root.
 func (s *Scheme) SaveRegisters(w io.Writer) error {
@@ -243,15 +252,11 @@ func (s *Scheme) Recover() (*secmem.RecoveryReport, error) {
 	rep.Verified = true
 
 	// Rebuild the volatile ST tree so the engine can keep running
-	// after recovery.
-	t, err := cachetree.New(s.e.Suite(), s.stTree.NumSets())
-	if err != nil {
-		return rep, err
-	}
+	// after recovery, reusing its storage.
+	s.stTree.Reset(s.e.Suite())
 	for slot, es := range perSlot {
-		t.UpdateSet(slot, es)
+		s.stTree.UpdateSet(slot, es)
 	}
-	s.stTree = t
 	return rep, nil
 }
 

@@ -122,6 +122,16 @@ func (s *Scheme) OnChildPersisted(parent sit.NodeID) error {
 // OnCrash implements secmem.Scheme.
 func (s *Scheme) OnCrash() { s.stRoot = s.stTree.Root() }
 
+// Reset implements secmem.Scheme: restore just-constructed state for
+// machine reuse (see anubis; the stride and its per-block update
+// counts rewind along with the ST tree).
+func (s *Scheme) Reset() {
+	s.stTree.Reset(s.e.Suite())
+	s.stRoot = 0
+	clear(s.updates)
+	s.stats = Stats{}
+}
+
 // SaveRegisters implements secmem.RegisterPersister: Phoenix's only
 // on-chip non-volatile state is the shadow-table merkle root.
 func (s *Scheme) SaveRegisters(w io.Writer) error {
@@ -305,15 +315,12 @@ func (s *Scheme) Recover() (*secmem.RecoveryReport, error) {
 	rep.StaleNodes = len(order)
 	rep.Verified = true
 
-	// Rebuild volatile structures for continued execution.
-	t, err := cachetree.New(s.e.Suite(), s.stTree.NumSets())
-	if err != nil {
-		return rep, err
-	}
+	// Rebuild volatile structures for continued execution, reusing
+	// their storage.
+	s.stTree.Reset(s.e.Suite())
 	for slot, es := range perSlot {
-		t.UpdateSet(slot, es)
+		s.stTree.UpdateSet(slot, es)
 	}
-	s.stTree = t
-	s.updates = make(map[uint64]int)
+	clear(s.updates)
 	return rep, nil
 }

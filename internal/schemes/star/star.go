@@ -124,6 +124,19 @@ func (s *Scheme) updateSet(set int) {
 // already travelled inside the child's MAC field; nothing extra to do.
 func (*Scheme) OnChildPersisted(sit.NodeID) error { return nil }
 
+// Reset implements secmem.Scheme: restore just-constructed state for
+// machine reuse, reusing the tracker and cache-tree storage. The RA
+// bitmap lines in NVM are already gone — the engine resets the device
+// before the scheme — and the cache-tree re-derives from the engine's
+// (possibly new) per-seed suite.
+func (s *Scheme) Reset() {
+	s.tracker.Reset()
+	s.tree.Reset(s.e.Suite())
+	s.treeRoot = s.tree.Root()
+	s.crashed = false
+	s.conv = s.conv[:0]
+}
+
 // OnCrash implements secmem.Scheme: battery-dump the ADR bitmap lines
 // into the recovery area. The L3 index register and the cache-tree
 // root survive on chip.
@@ -285,11 +298,12 @@ func (s *Scheme) parentCounter(id sit.NodeID, restored map[sit.NodeID]counter.No
 	return n.Counters[slot]
 }
 
-// reset rebuilds the tracker and cache-tree after a successful
-// recovery so the engine can keep executing. The recovery-area bitmap
-// lines consumed by the scan are zeroed (the restored metadata is
-// fresh); this cleanup happens once, after the timed recovery, so it
-// is applied out of band.
+// reset rewinds the tracker and cache-tree after a successful recovery
+// so the engine can keep executing. The recovery-area bitmap lines
+// consumed by the scan are zeroed (the restored metadata is fresh);
+// this cleanup happens once, after the timed recovery, so it is
+// applied out of band. The in-controller structures then rewind in
+// place through the same reset paths machine reuse takes.
 func (s *Scheme) reset(staleMetaIdx []uint64) error {
 	geo := s.e.Geometry()
 	dev := s.e.Device()
@@ -304,17 +318,6 @@ func (s *Scheme) reset(staleMetaIdx []uint64) error {
 	for l2 := uint64(0); l2 < geo.RAL2Lines(); l2++ {
 		dev.Poke(geo.RAL2Addr(l2), memline.Line{})
 	}
-	tracker, err := bitmap.NewTracker(s.e.Geometry(), s.e.Device(), s.bitmapCfg)
-	if err != nil {
-		return err
-	}
-	tree, err := cachetree.New(s.e.Suite(), s.e.MetaCache().NumSets())
-	if err != nil {
-		return err
-	}
-	s.tracker = tracker
-	s.tree = tree
-	s.treeRoot = tree.Root()
-	s.crashed = false
+	s.Reset()
 	return nil
 }

@@ -67,6 +67,13 @@ func (s *Scheme) BranchFlushes() uint64 { return s.branchFlushes }
 // to do.
 func (*Scheme) OnCrash() {}
 
+// Reset implements secmem.Scheme: restore just-constructed state for
+// machine reuse.
+func (s *Scheme) Reset() {
+	s.flushing = false
+	s.branchFlushes = 0
+}
+
 // Recover implements secmem.Scheme: strict persistence leaves no
 // stale metadata, so recovery is a (successful) no-op.
 func (*Scheme) Recover() (*secmem.RecoveryReport, error) {

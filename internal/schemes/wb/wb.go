@@ -40,6 +40,9 @@ func (*Scheme) OnChildPersisted(sit.NodeID) error { return nil }
 // lost.
 func (*Scheme) OnCrash() {}
 
+// Reset implements secmem.Scheme: WB holds no state to rewind.
+func (*Scheme) Reset() {}
+
 // Recover implements secmem.Scheme: WB cannot recover.
 func (*Scheme) Recover() (*secmem.RecoveryReport, error) {
 	return &secmem.RecoveryReport{Scheme: "wb", Supported: false}, secmem.ErrRecoveryUnsupported

@@ -126,6 +126,12 @@ type Engine struct {
 	scheme  Scheme
 	stats   Stats
 
+	// auxFree recycles nodeAux objects across fetches: dropAux harvests
+	// every aux when volatile state vanishes (crash, reset, snapshot
+	// restore) and newAux pops from here before allocating. Recycled
+	// objects are fully overwritten, so reuse cannot change results.
+	auxFree []*nodeAux
+
 	// pendingForced queues forced MSB write-backs (see bumpSlot); they
 	// run only after the child write that triggered them reaches NVM.
 	pendingForced []sit.NodeID
@@ -337,6 +343,7 @@ func (e *Engine) insertMeta(id sit.NodeID, line memline.Line, aux *nodeAux) (ins
 		}
 	}
 	if e.meta.Contains(addr) {
+		e.auxFree = append(e.auxFree, aux)
 		return false, nil
 	}
 	e.aux[addr] = aux
@@ -344,9 +351,34 @@ func (e *Engine) insertMeta(id sit.NodeID, line memline.Line, aux *nodeAux) (ins
 		if vdirty {
 			panic(fmt.Sprintf("secmem: dirty line %#x evicted without write-back", vaddr))
 		}
+		if a := e.aux[vaddr]; a != nil {
+			e.auxFree = append(e.auxFree, a)
+		}
 		delete(e.aux, vaddr)
 	})
 	return true, nil
+}
+
+// newAux returns a nodeAux with the given contents, recycling a
+// previously dropped one when available.
+func (e *Engine) newAux(parentCtr uint64, base [counter.Arity]uint64) *nodeAux {
+	if n := len(e.auxFree); n > 0 {
+		a := e.auxFree[n-1]
+		e.auxFree = e.auxFree[:n-1]
+		a.parentCtr = parentCtr
+		a.base = base
+		return a
+	}
+	return &nodeAux{parentCtr: parentCtr, base: base}
+}
+
+// dropAux empties the aux map, harvesting every object into the
+// freelist. Used wherever volatile controller state vanishes.
+func (e *Engine) dropAux() {
+	for _, a := range e.aux {
+		e.auxFree = append(e.auxFree, a)
+	}
+	clear(e.aux)
 }
 
 // parentCounterOf returns the parent's counter covering id, fetching
@@ -411,7 +443,7 @@ func (e *Engine) fetchNodeEntry(id sit.NodeID) (*cache.Entry, error) {
 			node.MACField = e.NodeMACField(id, node.Counters, 0)
 			line = node.Encode()
 		}
-		if _, err := e.insertMeta(id, line, &nodeAux{parentCtr: pctr, base: node.Counters}); err != nil {
+		if _, err := e.insertMeta(id, line, e.newAux(pctr, node.Counters)); err != nil {
 			return nil, err
 		}
 		if ent, ok := e.meta.Peek(addr); ok {
@@ -635,10 +667,33 @@ func (e *Engine) ReadLine(addr uint64) (memline.Line, error) {
 // (the SIT root, the scheme's roots/index registers) survive.
 func (e *Engine) Crash() {
 	e.meta.DropAll()
-	e.aux = make(map[uint64]*nodeAux)
+	e.dropAux()
 	e.pendingForced = nil
 	e.clearDirtySets()
 	e.scheme.OnCrash()
+}
+
+// Reset restores the engine to the state New would produce for the
+// same configuration with the given crypto suite, reusing every
+// allocation: the metadata cache, the paged NVM store and data-MAC
+// table, the aux objects and the per-set dirty lists are all rewound
+// in place. The scheme resets last, after the engine state it derives
+// from (device, suite) is fresh. Machine reuse across experiment cells
+// is built on this.
+func (e *Engine) Reset(suite simcrypto.Suite) {
+	e.cfg.Suite = suite
+	e.suite = suite
+	e.meta.Reset()
+	e.dropAux()
+	e.root = counter.Node{}
+	e.dataMAC.Clear()
+	e.dev.Reset()
+	e.stats = Stats{}
+	e.pendingForced = e.pendingForced[:0]
+	e.clearDirtySets()
+	if e.scheme != nil {
+		e.scheme.Reset()
+	}
 }
 
 // Recover runs the scheme's recovery procedure.

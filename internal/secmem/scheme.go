@@ -49,6 +49,13 @@ type Scheme interface {
 	// the result. Schemes without recovery support return a report
 	// with Supported == false.
 	Recover() (*RecoveryReport, error)
+
+	// Reset restores the scheme to its just-constructed state, for
+	// machine reuse across experiment cells. It runs as the last step
+	// of Engine.Reset — the device, caches and crypto suite are already
+	// rewound — so implementations may re-derive suite-dependent state
+	// through the engine.
+	Reset()
 }
 
 // RecoveryLineNs is the modeled cost of fetching or updating one

@@ -114,7 +114,7 @@ func (e *Engine) RestoreNonVolatile(r io.Reader) error {
 	}
 	// Volatile state is empty in a fresh process; make that explicit.
 	e.meta.DropAll()
-	e.aux = make(map[uint64]*nodeAux)
+	e.dropAux()
 	e.pendingForced = nil
 	e.clearDirtySets()
 	return nil

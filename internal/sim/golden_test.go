@@ -42,18 +42,26 @@ func goldenConfig(scheme string) Config {
 
 // TestGoldenResults locks every figure/table quantity to the values the
 // pre-optimization implementation produced: the paged NVM store, the
-// incremental set-MAC maintenance and the cache fast paths are pure
-// performance work, so each per-cell Results row must stay
-// reflect.DeepEqual to the recorded golden run.
+// incremental set-MAC maintenance, the cache fast paths and machine
+// reuse are pure performance work, so each per-cell Results row must
+// stay reflect.DeepEqual to the recorded golden run.
+//
+// Every cell additionally runs on a second, Reset-reused machine (one
+// per scheme, recycled across workloads and across crashes) and must
+// match the fresh machine exactly — Results and the post-crash
+// non-volatile snapshot — pinning the Reset invariant the experiment
+// runner's machine pool depends on.
 func TestGoldenResults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden matrix runs ten full cells")
 	}
 	const ops = 1200
 	var cells []goldenCell
+	reused := make(map[string]*Machine)
 	for _, workload := range []string{"hash", "queue"} {
 		for _, scheme := range []string{"wb", "strict", "anubis", "phoenix", "star"} {
-			m, err := NewMachine(goldenConfig(scheme))
+			cfg := goldenConfig(scheme)
+			m, err := NewMachine(cfg)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", workload, scheme, err)
 			}
@@ -62,6 +70,40 @@ func TestGoldenResults(t *testing.T) {
 				t.Fatalf("%s/%s: %v", workload, scheme, err)
 			}
 			cells = append(cells, goldenCell{Workload: workload, Scheme: scheme, Results: res})
+
+			// Replay the cell on the recycled machine. Reset runs before
+			// every use — including the first, and after the crash the
+			// previous cell left behind — so a reused machine only ever
+			// reaches a run through the Reset path.
+			rm, ok := reused[scheme]
+			if !ok {
+				if rm, err = NewMachine(goldenConfig(scheme)); err != nil {
+					t.Fatalf("%s/%s: reused machine: %v", workload, scheme, err)
+				}
+				reused[scheme] = rm
+			}
+			rm.Reset(cfg.Seed)
+			rres, err := rm.Run(workload, ops)
+			if err != nil {
+				t.Fatalf("%s/%s: reused run: %v", workload, scheme, err)
+			}
+			if !reflect.DeepEqual(res, rres) {
+				t.Errorf("%s/%s: reused machine diverged from fresh:\nfresh  %+v\nreused %+v",
+					workload, scheme, res, rres)
+			}
+			m.Crash()
+			rm.Crash()
+			var fresh, recyc bytes.Buffer
+			if err := m.Engine().SaveNonVolatile(&fresh); err != nil {
+				t.Fatalf("%s/%s: snapshot fresh: %v", workload, scheme, err)
+			}
+			if err := rm.Engine().SaveNonVolatile(&recyc); err != nil {
+				t.Fatalf("%s/%s: snapshot reused: %v", workload, scheme, err)
+			}
+			if !bytes.Equal(fresh.Bytes(), recyc.Bytes()) {
+				t.Errorf("%s/%s: post-crash snapshot differs between fresh and reused machines (%d vs %d bytes)",
+					workload, scheme, fresh.Len(), recyc.Len())
+			}
 		}
 	}
 

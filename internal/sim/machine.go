@@ -23,6 +23,9 @@ import (
 type Machine struct {
 	cfg    Config
 	engine *secmem.Engine
+	// autoSuite records that the caller left cfg.Suite nil, so Reset
+	// re-derives the per-seed suite the same way NewMachine did.
+	autoSuite bool
 
 	l1 []*cache.Cache // per core
 	l2 []*cache.Cache // per core
@@ -64,7 +67,8 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("sim: need at least one core")
 	}
-	if cfg.Suite == nil {
+	autoSuite := cfg.Suite == nil
+	if autoSuite {
 		cfg.Suite = simcrypto.NewFast(0x57a7 + cfg.Seed)
 	}
 	if cfg.WriteQueue <= 0 {
@@ -77,12 +81,13 @@ func NewMachine(cfg Config) (*Machine, error) {
 		cfg.Banks = 8
 	}
 	m := &Machine{
-		cfg:      cfg,
-		owner:    paged.New[int32](cfg.DataBytes / memline.Size),
-		coreNow:  make([]float64, cfg.Cores),
-		instr:    make([]uint64, cfg.Cores),
-		wqDone:   make([]float64, cfg.WriteQueue),
-		bankFree: make([]float64, cfg.Banks),
+		cfg:       cfg,
+		autoSuite: autoSuite,
+		owner:     paged.New[int32](cfg.DataBytes / memline.Size),
+		coreNow:   make([]float64, cfg.Cores),
+		instr:     make([]uint64, cfg.Cores),
+		wqDone:    make([]float64, cfg.WriteQueue),
+		bankFree:  make([]float64, cfg.Banks),
 	}
 	var err error
 	m.engine, err = secmem.New(secmem.Config{
@@ -496,4 +501,48 @@ func (m *Machine) Crash() {
 // Recover runs the active scheme's recovery.
 func (m *Machine) Recover() (*secmem.RecoveryReport, error) {
 	return m.engine.Recover()
+}
+
+// Reset restores the machine to the state NewMachine would produce for
+// the same configuration with Seed = seed, without reallocating:
+// caches, owner table, timing state, engine and scheme all rewind in
+// place, and when the original configuration left Suite nil the
+// per-seed suite is re-derived exactly as NewMachine derives it. The
+// invariant the experiment runner's machine reuse is built on:
+//
+//	m.Reset(seed) ≡ NewMachine(cfg with Seed = seed)
+//
+// for every observable output — Results, statistics, snapshots, the
+// golden corpus. TestGoldenResults and TestResetReuseInterleaved hold
+// it in place.
+func (m *Machine) Reset(seed uint64) {
+	m.cfg.Seed = seed
+	if m.autoSuite {
+		m.cfg.Suite = simcrypto.NewFast(0x57a7 + seed)
+	}
+	m.engine.Reset(m.cfg.Suite)
+	for i := range m.l1 {
+		m.l1[i].Reset()
+		m.l2[i].Reset()
+	}
+	m.l3.Reset()
+	m.owner.Clear()
+	for i := range m.coreNow {
+		m.coreNow[i] = 0
+	}
+	for i := range m.instr {
+		m.instr[i] = 0
+	}
+	m.curCore = 0
+	for i := range m.bankFree {
+		m.bankFree[i] = 0
+	}
+	for i := range m.wqDone {
+		m.wqDone[i] = 0
+	}
+	m.wqIdx = 0
+	m.wqLastOut = 0
+	m.ctx, m.ctxDone = nil, nil
+	m.ctxPoll = 0
+	m.err = nil
 }

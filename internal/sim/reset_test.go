@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestResetReuseInterleaved fuzzes the Reset invariant the experiment
+// runner's machine pool relies on: one recycled machine per scheme is
+// driven through a deterministic pseudo-random interleaving of
+// workloads, seeds, op counts and crash/recovery cycles, and after
+// every Reset it must reproduce a freshly constructed machine's
+// Results bit for bit. Crash iterations run unverified (leaving dirty
+// metadata, like the runner's crash cells), then crash and recover
+// both machines before the next Reset, so Reset is exercised from
+// running, crashed and recovered states alike.
+func TestResetReuseInterleaved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interleaved reuse fuzz runs dozens of full cells")
+	}
+	schemes := []string{"wb", "strict", "anubis", "phoenix", "star"}
+	workloads := []string{"array", "queue", "hash"}
+	seeds := []uint64{0, 1, 42}
+	opsChoices := []int{400, 800, 1200}
+
+	// xorshift64: fixed seed, so the schedule is identical on every run.
+	rng := uint64(0x9e3779b97f4a7c15)
+	pick := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+
+	reused := make(map[string]*Machine)
+	const iters = 20
+	for it := 0; it < iters; it++ {
+		scheme := schemes[pick(len(schemes))]
+		workload := workloads[pick(len(workloads))]
+		seed := seeds[pick(len(seeds))]
+		ops := opsChoices[pick(len(opsChoices))]
+		crash := pick(3) == 0
+
+		cfg := goldenConfig(scheme)
+		cfg.Seed = seed
+		fresh, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("iter %d %s/%s: %v", it, scheme, workload, err)
+		}
+		rm, ok := reused[scheme]
+		if !ok {
+			if rm, err = NewMachine(goldenConfig(scheme)); err != nil {
+				t.Fatalf("iter %d %s: reused machine: %v", it, scheme, err)
+			}
+			reused[scheme] = rm
+		}
+		rm.Reset(seed)
+
+		run := (*Machine).Run
+		if crash {
+			run = (*Machine).RunUnverified
+		}
+		fres, err := run(fresh, workload, ops)
+		if err != nil {
+			t.Fatalf("iter %d %s/%s seed=%d ops=%d: fresh: %v", it, scheme, workload, seed, ops, err)
+		}
+		rres, err := run(rm, workload, ops)
+		if err != nil {
+			t.Fatalf("iter %d %s/%s seed=%d ops=%d: reused: %v", it, scheme, workload, seed, ops, err)
+		}
+		if !reflect.DeepEqual(fres, rres) {
+			t.Errorf("iter %d %s/%s seed=%d ops=%d crash=%v: reused machine diverged:\nfresh  %+v\nreused %+v",
+				it, scheme, workload, seed, ops, crash, fres, rres)
+		}
+
+		if crash {
+			fresh.Crash()
+			rm.Crash()
+			if scheme != "wb" { // wb has no recovery; its Reset starts from the crashed state
+				frep, err := fresh.Recover()
+				if err != nil {
+					t.Fatalf("iter %d %s/%s: fresh recovery: %v", it, scheme, workload, err)
+				}
+				rrep, err := rm.Recover()
+				if err != nil {
+					t.Fatalf("iter %d %s/%s: reused recovery: %v", it, scheme, workload, err)
+				}
+				if !reflect.DeepEqual(frep, rrep) {
+					t.Errorf("iter %d %s/%s: recovery reports differ:\nfresh  %+v\nreused %+v",
+						it, scheme, workload, frep, rrep)
+				}
+			}
+		}
+	}
+}
