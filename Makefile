@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-parallel report examples vet fmt clean race verify
+.PHONY: all build test test-short bench bench-json bench-parallel report examples vet fmt clean race verify verify-telemetry
 
 all: verify
 
@@ -59,6 +59,20 @@ bench-parallel:
 # Regenerate the evaluation tables (Figs. 10-14, Table II).
 evaluation:
 	$(GO) run ./cmd/starbench -exp all -ops 20000
+
+# End-to-end observability gate: a sampled + traced timeline run and a
+# traced mini-sweep, with tracecheck asserting both Chrome trace-event
+# files parse and are non-empty (Perfetto-loadable).
+verify-telemetry:
+	rm -rf /tmp/nvmstar-telemetry && mkdir -p /tmp/nvmstar-telemetry
+	$(GO) run ./cmd/starplot -timeline -ops 3000 -sample-ns 5000 \
+		-out /tmp/nvmstar-telemetry
+	$(GO) run ./cmd/starbench -exp fig14a -ops 1500 -workloads hash,array \
+		-progress=false -trace-out /tmp/nvmstar-telemetry/sweep_trace.json
+	$(GO) run ./cmd/tracecheck -min 1 \
+		/tmp/nvmstar-telemetry/timeline_trace.json \
+		/tmp/nvmstar-telemetry/sweep_trace.json
+	test -s /tmp/nvmstar-telemetry/timeline_dirty_frac.svg
 
 # Executable paper-vs-measured report; non-zero exit if a shape breaks.
 report:

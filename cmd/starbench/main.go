@@ -28,12 +28,18 @@ import (
 
 	"nvmstar/internal/experiments"
 	"nvmstar/internal/sim"
+	"nvmstar/internal/telemetry"
 )
 
 // render formats an output table (text or CSV, per -format).
 var render func(header []string, rows [][]string) string
 
-func main() {
+// main delegates to run so deferred cleanup — stopping the CPU
+// profile, closing and error-checking the profile files, flushing the
+// sweep trace — executes on every exit path; os.Exit would skip it.
+func main() { os.Exit(run()) }
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment: fig10|fig11|fig12|fig13|table2|fig14a|fig14b|ablation-index|all")
 	ops := flag.Int("ops", 20000, "measured operations per workload run")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all seven)")
@@ -42,39 +48,33 @@ func main() {
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
 	metaKB := flag.Int("meta-kb", 256, "metadata cache size in KiB")
 	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
-	progress := flag.Bool("progress", true, "report per-cell completion and ETA on stderr")
+	progress := flag.Bool("progress", true, "report per-cell completion, rate and ETA on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	httpAddr := flag.String("http", "", "serve live sweep stats (expvar) and pprof on this address, e.g. :6060")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the sweep's cells to this file")
 	flag.Parse()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "starbench: -cpuprofile: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fmt.Fprintf(os.Stderr, "starbench: -cpuprofile: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "starbench: -cpuprofile: close: %v\n", err)
+			}
 		}()
 	}
 	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "starbench: -memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // flush unreachable objects so allocs reflect the run
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(os.Stderr, "starbench: -memprofile: %v\n", err)
-			}
-		}()
+		defer writeMemProfile(*memprofile)
 	}
 
 	switch *format {
@@ -84,7 +84,7 @@ func main() {
 		render = experiments.FormatCSV
 	default:
 		fmt.Fprintf(os.Stderr, "starbench: unknown format %q\n", *format)
-		os.Exit(2)
+		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -107,19 +107,45 @@ func main() {
 	if *progress {
 		ropts = append(ropts, experiments.WithProgress(printProgress))
 	}
+	var sweepTrace *telemetry.Trace
+	if *traceOut != "" {
+		sweepTrace = telemetry.NewTrace(0)
+		ropts = append(ropts, experiments.WithTrace(sweepTrace))
+		defer func() {
+			if err := writeTrace(*traceOut, sweepTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "starbench: -trace-out: %v\n", err)
+			}
+		}()
+	}
 	r := experiments.NewRunner(ropts...)
 
-	run := func(name string, fn func() error) {
+	if *httpAddr != "" {
+		srv := telemetry.NewDebugServer(*httpAddr, map[string]func() any{
+			"sweep": func() any { return r.Snapshot() },
+		})
+		addr, err := srv.Start()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starbench: -http: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "starbench: live stats on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
+
+	code := 0
+	runExp := func(name string, fn func() error) bool {
 		fmt.Printf("== %s ==\n", name)
 		if err := fn(); err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "starbench: interrupted")
-				os.Exit(130)
+				code = 130
+				return false
 			}
 			fmt.Fprintf(os.Stderr, "starbench: %s: %v\n", name, err)
-			os.Exit(1)
+			code = 1
+			return false
 		}
 		fmt.Println()
+		return true
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -127,44 +153,95 @@ func main() {
 
 	if want("fig10") {
 		ran = true
-		run("Fig. 10: bitmap-line writes vs WB writes", func() error { return fig10(ctx, r) })
+		if !runExp("Fig. 10: bitmap-line writes vs WB writes", func() error { return fig10(ctx, r) }) {
+			return code
+		}
 	}
 	if want("fig11") || want("fig12") || want("fig13") {
 		ran = true
-		run("Figs. 11-13: write traffic / IPC / energy (normalized to WB)", func() error { return schemeComparison(ctx, r) })
+		if !runExp("Figs. 11-13: write traffic / IPC / energy (normalized to WB)", func() error { return schemeComparison(ctx, r) }) {
+			return code
+		}
 	}
 	if want("table2") {
 		ran = true
-		run("Table II: ADR bitmap-line hit ratio", func() error { return table2(ctx, r) })
+		if !runExp("Table II: ADR bitmap-line hit ratio", func() error { return table2(ctx, r) }) {
+			return code
+		}
 	}
 	if want("fig14a") {
 		ran = true
-		run("Fig. 14a: dirty metadata fraction", func() error { return fig14a(ctx, r) })
+		if !runExp("Fig. 14a: dirty metadata fraction", func() error { return fig14a(ctx, r) }) {
+			return code
+		}
 	}
 	if want("fig14b") {
 		ran = true
-		run("Fig. 14b: recovery time vs metadata cache size", func() error { return fig14b(ctx, r) })
+		if !runExp("Fig. 14b: recovery time vs metadata cache size", func() error { return fig14b(ctx, r) }) {
+			return code
+		}
 	}
 	if want("ablation-index") {
 		ran = true
-		run("Ablation: multi-layer index vs flat RA scan", func() error { return ablationIndex(ctx, r) })
+		if !runExp("Ablation: multi-layer index vs flat RA scan", func() error { return ablationIndex(ctx, r) }) {
+			return code
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "starbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return code
+}
+
+// writeMemProfile captures the allocation profile, reporting (rather
+// than swallowing) create/write/close errors.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starbench: -memprofile: %v\n", err)
+		return
+	}
+	runtime.GC() // flush unreachable objects so allocs reflect the run
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "starbench: -memprofile: %v\n", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "starbench: -memprofile: close: %v\n", err)
+	}
+}
+
+// writeTrace flushes a sweep trace to path (skipped when no cell ever
+// completed, e.g. an immediate flag error).
+func writeTrace(path string, tr *telemetry.Trace) error {
+	if tr.Len() == 0 {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "starbench: wrote sweep trace to %s (%d events)\n", path, tr.Len())
+	return nil
 }
 
 // printProgress renders one completed cell on stderr:
 //
-//	[ 3/28] array/star 1.2s (elapsed 3.8s, eta 31s)
+//	[ 3/28] array/star 1.2s (elapsed 3.8s, 0.8 cells/s, eta 31s)
 func printProgress(p experiments.Progress) {
 	cell := p.Cell.Workload + "/" + p.Cell.Scheme
 	if p.Cell.Label != "" {
 		cell += " " + p.Cell.Label
 	}
-	line := fmt.Sprintf("[%2d/%d] %s %.1fs (elapsed %.1fs",
-		p.Done, p.Total, cell, p.CellWall.Seconds(), p.Elapsed.Seconds())
+	line := fmt.Sprintf("[%2d/%d] %s %.1fs (elapsed %.1fs, %.1f cells/s",
+		p.Done, p.Total, cell, p.CellWall.Seconds(), p.Elapsed.Seconds(), p.CellsPerSec)
 	if p.Done < p.Total {
 		line += fmt.Sprintf(", eta %.1fs", p.ETA.Seconds())
 	}

@@ -3,6 +3,13 @@
 // the cell matrix out over a worker pool:
 //
 //	starplot -ops 8000 -out ./figures -parallel 8
+//
+// The -timeline mode instead runs one telemetry-enabled simulation and
+// renders its sampled series over simulated time (dirty metadata
+// fraction, cache hit ratios, write amplification) plus a Perfetto
+// trace of the run's structured events:
+//
+//	starplot -timeline -workload hash -scheme star -out ./figures
 package main
 
 import (
@@ -25,10 +32,25 @@ func main() {
 	out := flag.String("out", "figures", "output directory for SVG files")
 	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", true, "report per-cell completion and ETA on stderr")
+	timeline := flag.Bool("timeline", false, "render sampled telemetry timelines of one run instead of the figure sweep")
+	workloadName := flag.String("workload", "hash", "workload for -timeline")
+	scheme := flag.String("scheme", "star", "scheme for -timeline")
+	sampleNs := flag.Float64("sample-ns", 10000, "timeline sampling interval in simulated ns (-timeline)")
+	traceOut := flag.String("trace-out", "", "write the run's event trace as Chrome trace-event JSON (-timeline; default <out>/timeline_trace.json)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
+	}
+
+	if *timeline {
+		if *traceOut == "" {
+			*traceOut = filepath.Join(*out, "timeline_trace.json")
+		}
+		if err := runTimeline(*out, *traceOut, *workloadName, *scheme, *ops, *sampleNs); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -157,6 +179,95 @@ func main() {
 		})
 	}
 	write("fig14b_recovery_time.svg", c14b)
+}
+
+// runTimeline executes one telemetry-enabled run and renders its
+// sampled series as line charts over simulated time, plus the
+// structured event trace as Perfetto-loadable JSON.
+func runTimeline(outDir, tracePath, workloadName, scheme string, ops int, sampleNs float64) error {
+	cfg := sim.Default()
+	cfg.DataBytes = 64 << 20
+	cfg.MetaCache.SizeBytes = 256 << 10
+	cfg.Scheme = scheme
+	cfg.Telemetry = true
+	cfg.SampleEveryNs = sampleNs
+	cfg.TraceEvents = true
+
+	res, m, err := sim.RunScenario(cfg, workloadName, ops)
+	if err != nil {
+		return err
+	}
+	if len(res.Timelines) == 0 {
+		return fmt.Errorf("run produced no samples; lower -sample-ns (simulated time was %.0f ns)", res.TimeNs)
+	}
+
+	series := func(names ...string) []svgplot.LineSeries {
+		var out []svgplot.LineSeries
+		for _, tl := range res.Timelines {
+			for _, want := range names {
+				if tl.Name != want {
+					continue
+				}
+				s := svgplot.LineSeries{Label: tl.Name, X: make([]float64, len(tl.TimesNs)), Y: tl.Values}
+				for i, t := range tl.TimesNs {
+					s.X[i] = t / 1e6 // ns -> ms
+				}
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	write := func(name string, chart *svgplot.LineChart) error {
+		svg, err := chart.SVG()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		path := filepath.Join(outDir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+
+	title := fmt.Sprintf("%s/%s (%d ops)", workloadName, scheme, ops)
+	if err := write("timeline_dirty_frac.svg", &svgplot.LineChart{
+		Title: "Dirty metadata fraction over time: " + title, XLabel: "simulated time (ms)",
+		YLabel: "dirty fraction", YMax: 1,
+		Series: series("meta.dirty_frac"),
+	}); err != nil {
+		return err
+	}
+	if err := write("timeline_hit_ratios.svg", &svgplot.LineChart{
+		Title: "Cache hit ratios over time: " + title, XLabel: "simulated time (ms)",
+		YLabel: "hit ratio", YMax: 1,
+		Series: series("meta.hit_ratio", "l1.hit_ratio", "l2.hit_ratio", "l3.hit_ratio"),
+	}); err != nil {
+		return err
+	}
+	if err := write("timeline_write_amp.svg", &svgplot.LineChart{
+		Title: "Write amplification over time: " + title, XLabel: "simulated time (ms)",
+		YLabel: "NVM writes / user write",
+		Series: series("engine.write_amp"),
+	}); err != nil {
+		return err
+	}
+
+	if tr := m.Trace(); tr != nil && tr.Len() > 0 {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events; load in Perfetto / chrome://tracing)\n", tracePath, tr.Len())
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -19,6 +19,7 @@ import (
 	"nvmstar/internal/experiments"
 	"nvmstar/internal/shapes"
 	"nvmstar/internal/sim"
+	"nvmstar/internal/telemetry"
 )
 
 func main() {
@@ -26,7 +27,8 @@ func main() {
 	seeds := flag.Int("seeds", 1, "seeds to average per cell")
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
 	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
-	progress := flag.Bool("progress", true, "report per-cell completion and ETA on stderr")
+	progress := flag.Bool("progress", true, "report per-cell completion, rate and ETA on stderr")
+	httpAddr := flag.String("http", "", "serve live sweep stats (expvar) and pprof on this address, e.g. :6060")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -49,12 +51,25 @@ func main() {
 			if p.Cell.Label != "" {
 				cell += " " + p.Cell.Label
 			}
-			fmt.Fprintf(os.Stderr, "[%2d/%d] %s %.1fs (elapsed %.1fs, eta %.1fs)\n",
-				p.Done, p.Total, cell, p.CellWall.Seconds(), p.Elapsed.Seconds(), p.ETA.Seconds())
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %s %.1fs (elapsed %.1fs, %.1f cells/s, eta %.1fs)\n",
+				p.Done, p.Total, cell, p.CellWall.Seconds(), p.Elapsed.Seconds(), p.CellsPerSec, p.ETA.Seconds())
 		}))
 	}
+	r := experiments.NewRunner(ropts...)
 
-	rep, err := shapes.EvaluateCtx(ctx, experiments.NewRunner(ropts...))
+	if *httpAddr != "" {
+		srv := telemetry.NewDebugServer(*httpAddr, map[string]func() any{
+			"sweep": func() any { return r.Snapshot() },
+		})
+		addr, err := srv.Start()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starreport: -http:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "starreport: live stats on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
+
+	rep, err := shapes.EvaluateCtx(ctx, r)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "starreport: interrupted")

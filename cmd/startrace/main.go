@@ -27,27 +27,50 @@ func main() {
 	ops := flag.Int("ops", 10000, "operations to record")
 	scheme := flag.String("scheme", "star", "scheme for recording/replaying")
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
+	traceOut := flag.String("trace-out", "", "also write the run's structured events (forced flushes, sampled evictions) as Chrome trace-event JSON")
 	flag.Parse()
 
 	cfg := sim.Default()
 	cfg.DataBytes = uint64(*dataMB) << 20
 	cfg.MetaCache.SizeBytes = 256 << 10
 	cfg.Scheme = *scheme
+	cfg.TraceEvents = *traceOut != ""
 
 	switch {
 	case *record != "" && *replay != "":
 		fail(fmt.Errorf("choose -record or -replay, not both"))
 	case *record != "":
-		doRecord(cfg, *record, *wl, *ops)
+		doRecord(cfg, *record, *wl, *ops, *traceOut)
 	case *replay != "":
-		doReplay(cfg, *replay)
+		doReplay(cfg, *replay, *traceOut)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func doRecord(cfg sim.Config, path, wl string, ops int) {
+// writeEventTrace flushes the machine's structured event trace (when
+// -trace-out asked for one).
+func writeEventTrace(m *sim.Machine, path string) {
+	tr := m.Trace()
+	if path == "" || tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d trace events to %s (load in Perfetto)\n", tr.Len(), path)
+}
+
+func doRecord(cfg sim.Config, path, wl string, ops int, traceOut string) {
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
 		fail(err)
@@ -73,9 +96,10 @@ func doRecord(cfg sim.Config, path, wl string, ops int) {
 		fail(err)
 	}
 	fmt.Printf("recorded %d accesses of %s (%d ops) to %s\n", tw.Count(), wl, ops, path)
+	writeEventTrace(m, traceOut)
 }
 
-func doReplay(cfg sim.Config, path string) {
+func doReplay(cfg sim.Config, path, traceOut string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
@@ -104,6 +128,7 @@ func doReplay(cfg sim.Config, path string) {
 	fmt.Printf("  NVM writes  %d\n", res.Dev.Writes)
 	fmt.Printf("  energy      %.2f uJ\n", res.EnergyPJ()/1e6)
 	fmt.Printf("  dirty meta  %.1f%%\n", 100*res.DirtyMetaFrac)
+	writeEventTrace(m, traceOut)
 }
 
 func fail(err error) {

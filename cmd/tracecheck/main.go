@@ -1,0 +1,51 @@
+// Command tracecheck validates a Chrome trace-event JSON file as
+// produced by -trace-out (starplot, startrace, starbench): it must
+// parse in either the object or bare-array form Perfetto accepts and
+// contain at least -min events. The CI verify-telemetry target uses it
+// as the machine check that tracing produced a loadable, non-empty
+// trace.
+//
+//	tracecheck -min 1 figures/timeline_trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmstar/internal/telemetry"
+)
+
+func main() {
+	min := flag.Int("min", 1, "minimum number of trace events required")
+	quiet := flag.Bool("q", false, "suppress per-file summaries")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min N] file.json...")
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			code = 1
+			continue
+		}
+		events, err := telemetry.ParseTraceJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		if len(events) < *min {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %d events, want at least %d\n", path, len(events), *min)
+			code = 1
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("%s: ok (%d events)\n", path, len(events))
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,30 @@
+package adr
+
+import "nvmstar/internal/telemetry"
+
+// Occupancy returns the fraction of slots currently holding a line.
+// The paper's ADR allocation is tiny (16 lines), so occupancy reaching
+// 1.0 early in a run is the expected steady state; the interesting
+// signal is how long the warm-up takes per workload.
+func (p *Pool) Occupancy() float64 {
+	valid := 0
+	for i := range p.slots {
+		if p.slots[i].valid {
+			valid++
+		}
+	}
+	return float64(valid) / float64(len(p.slots))
+}
+
+// AttachTelemetry registers the pool's counters and occupancy as lazily
+// sampled series under prefix (e.g. "star.bitmap.l1"). Gauge functions
+// run at sample time only; a nil registry no-ops.
+func (p *Pool) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".accesses", func() float64 { return float64(p.stats.Accesses) })
+	reg.GaugeFunc(prefix+".hits", func() float64 { return float64(p.stats.Hits) })
+	reg.GaugeFunc(prefix+".misses", func() float64 { return float64(p.stats.Misses) })
+	reg.GaugeFunc(prefix+".evicts", func() float64 { return float64(p.stats.Evicts) })
+	reg.GaugeFunc(prefix+".fills", func() float64 { return float64(p.stats.Fills) })
+	reg.GaugeFunc(prefix+".hit_ratio", func() float64 { return p.stats.HitRatio() })
+	reg.GaugeFunc(prefix+".occupancy", p.Occupancy)
+}

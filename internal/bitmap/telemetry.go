@@ -1,0 +1,17 @@
+package bitmap
+
+import "nvmstar/internal/telemetry"
+
+// AttachTelemetry registers the tracker's traffic as lazily sampled
+// series under prefix (e.g. "star.bitmap"): both ADR pools' series, the
+// transition-op counters, and the combined quantities the paper reports
+// (Table II hit ratio, Fig. 10 RA traffic). A nil registry no-ops.
+func (t *Tracker) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	t.l1.AttachTelemetry(reg, prefix+".l1")
+	t.l2.AttachTelemetry(reg, prefix+".l2")
+	reg.GaugeFunc(prefix+".set_ops", func() float64 { return float64(t.setOps) })
+	reg.GaugeFunc(prefix+".clear_ops", func() float64 { return float64(t.clearOps) })
+	reg.GaugeFunc(prefix+".hit_ratio", func() float64 { return t.Stats().HitRatio() })
+	reg.GaugeFunc(prefix+".nvm_writes", func() float64 { return float64(t.Stats().NVMWrites()) })
+	reg.GaugeFunc(prefix+".nvm_reads", func() float64 { return float64(t.Stats().NVMReads()) })
+}

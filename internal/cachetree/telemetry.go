@@ -1,0 +1,12 @@
+package cachetree
+
+import "nvmstar/internal/telemetry"
+
+// AttachTelemetry registers the tree's hash-work counters as lazily
+// sampled series under prefix (e.g. "star.tree"). A nil registry
+// no-ops.
+func (t *Tree) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".set_macs", func() float64 { return float64(t.stats.SetMACs) })
+	reg.GaugeFunc(prefix+".node_hashes", func() float64 { return float64(t.stats.NodeHashes) })
+	reg.GaugeFunc(prefix+".branch_steps", func() float64 { return float64(t.stats.BranchSteps) })
+}

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nvmstar/internal/bitmap"
 	"nvmstar/internal/cache"
 	"nvmstar/internal/schemes/star"
 	"nvmstar/internal/sim"
+	"nvmstar/internal/telemetry"
 	"nvmstar/internal/workload"
 )
 
@@ -31,6 +33,17 @@ type Runner struct {
 	config    func() sim.Config
 	parallel  int
 	progress  func(Progress)
+	trace     *telemetry.Trace
+
+	// Live sweep introspection, cumulative across this runner's sweeps
+	// and read lock-free by Snapshot (expvar handlers poll it from
+	// other goroutines while a sweep runs).
+	cellsDone      atomic.Int64
+	cellsTotal     atomic.Int64
+	machinesBuilt  atomic.Int64
+	machinesReused atomic.Int64
+	sweepDone      atomic.Int64 // cells completed in the active sweep
+	sweepStart     atomic.Int64 // UnixNano of the active sweep's start
 }
 
 // Option configures a Runner (functional options).
@@ -73,6 +86,13 @@ func WithParallelism(n int) Option { return func(r *Runner) { r.parallel = n } }
 // so completions are reported in a consistent, monotonic order; keep
 // it short (printing a line is the intended use).
 func WithProgress(fn func(Progress)) Option { return func(r *Runner) { r.progress = fn } }
+
+// WithTrace attaches a Chrome trace-event buffer to the runner: every
+// completed cell becomes one complete ("X") event on the lane of the
+// worker that ran it, timestamped with wall-clock time relative to the
+// sweep's start. Events are appended under the pool's bookkeeping
+// lock, so the single trace buffer is safe across workers.
+func WithTrace(tr *telemetry.Trace) Option { return func(r *Runner) { r.trace = tr } }
 
 // WithOptions imports a legacy Options value — the bridge the
 // deprecated package-level entry points use.
@@ -143,9 +163,40 @@ type Progress struct {
 	Cell  Cell // the cell that just completed
 	Err   error
 
-	CellWall time.Duration // wall time of this cell
-	Elapsed  time.Duration // wall time since the sweep started
-	ETA      time.Duration // estimated time to sweep completion (0 when done)
+	CellWall    time.Duration // wall time of this cell
+	Elapsed     time.Duration // wall time since the sweep started
+	ETA         time.Duration // estimated time to sweep completion (0 when done)
+	CellsPerSec float64       // completed cells per wall-clock second so far
+}
+
+// Stats is a point-in-time snapshot of a Runner's live counters,
+// cumulative across its sweeps. Safe to call from any goroutine while
+// a sweep runs; the -http expvar endpoints of starbench and starreport
+// publish it.
+type Stats struct {
+	CellsDone      int64   // cells completed (all sweeps on this runner)
+	CellsTotal     int64   // cells enqueued
+	MachinesBuilt  int64   // simulator machines constructed from scratch
+	MachinesReused int64   // cells served by Reset-ing a pooled machine
+	CellsPerSec    float64 // completion rate of the active/last sweep
+}
+
+// Snapshot returns the runner's live counters.
+func (r *Runner) Snapshot() Stats {
+	s := Stats{
+		CellsDone:      r.cellsDone.Load(),
+		CellsTotal:     r.cellsTotal.Load(),
+		MachinesBuilt:  r.machinesBuilt.Load(),
+		MachinesReused: r.machinesReused.Load(),
+	}
+	if start := r.sweepStart.Load(); start != 0 {
+		if done := r.sweepDone.Load(); done > 0 {
+			if el := time.Since(time.Unix(0, start)).Seconds(); el > 0 {
+				s.CellsPerSec = float64(done) / el
+			}
+		}
+	}
+	return s
 }
 
 // Matrix expands workloads x schemes x the runner's seed count into
@@ -231,6 +282,16 @@ func (r *Runner) Stream(ctx context.Context, cells []Cell) <-chan CellResult {
 // goroutines and the simulator's single-goroutine invariant holds.
 type machinePool struct {
 	machines map[string]*sim.Machine
+	// built/reused report pool effectiveness into the owning runner's
+	// live counters (nil in tests that construct pools directly).
+	built  *atomic.Int64
+	reused *atomic.Int64
+}
+
+func bump(c *atomic.Int64) {
+	if c != nil {
+		c.Add(1)
+	}
 }
 
 // machine returns a machine for cfg, reusing (and Resetting) a cached
@@ -240,6 +301,7 @@ type machinePool struct {
 // back to a fresh machine per cell.
 func (p *machinePool) machine(cfg sim.Config) (*sim.Machine, error) {
 	if cfg.Suite != nil {
+		bump(p.built)
 		return sim.NewMachine(cfg)
 	}
 	seed := cfg.Seed
@@ -247,6 +309,7 @@ func (p *machinePool) machine(cfg sim.Config) (*sim.Machine, error) {
 	key := fmt.Sprintf("%+v", cfg)
 	if m, ok := p.machines[key]; ok {
 		m.Reset(seed)
+		bump(p.reused)
 		return m, nil
 	}
 	cfg.Seed = seed
@@ -254,6 +317,7 @@ func (p *machinePool) machine(cfg sim.Config) (*sim.Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	bump(p.built)
 	if p.machines == nil {
 		p.machines = make(map[string]*sim.Machine)
 	}
@@ -285,6 +349,9 @@ func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx cont
 		done     int
 		start    = time.Now()
 	)
+	r.cellsTotal.Add(int64(len(cells)))
+	r.sweepDone.Store(0)
+	r.sweepStart.Store(start.UnixNano())
 	idx := make(chan int)
 	go func() {
 		defer close(idx)
@@ -300,18 +367,30 @@ func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx cont
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			mp := &machinePool{}
+			mp := &machinePool{built: &r.machinesBuilt, reused: &r.machinesReused}
 			for i := range idx {
 				cellStart := time.Now()
 				err := job(ctx, mp, i)
 
 				mu.Lock()
 				done++
+				r.cellsDone.Add(1)
+				r.sweepDone.Add(1)
 				if err != nil && firstErr == nil {
 					firstErr = err
 					cancel()
+				}
+				if r.trace != nil {
+					c := cells[i]
+					name := c.Workload + "/" + c.Scheme
+					if c.Label != "" {
+						name += " " + c.Label
+					}
+					r.trace.CompleteAt(name, "sweep",
+						float64(cellStart.Sub(start).Nanoseconds()),
+						float64(time.Since(cellStart).Nanoseconds()), worker)
 				}
 				if r.progress != nil {
 					p := Progress{
@@ -321,11 +400,14 @@ func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx cont
 					if done < len(cells) {
 						p.ETA = time.Duration(float64(p.Elapsed) / float64(done) * float64(len(cells)-done))
 					}
+					if secs := p.Elapsed.Seconds(); secs > 0 {
+						p.CellsPerSec = float64(done) / secs
+					}
 					r.progress(p)
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {

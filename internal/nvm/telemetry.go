@@ -1,0 +1,15 @@
+package nvm
+
+import "nvmstar/internal/telemetry"
+
+// AttachTelemetry registers the device's counters as lazily sampled
+// series under prefix (e.g. "nvm"). The gauge functions read the live
+// Stats at sample time only, so attaching costs the device's access
+// paths nothing; a nil registry makes every registration a no-op.
+func (d *Device) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".reads", func() float64 { return float64(d.stats.Reads) })
+	reg.GaugeFunc(prefix+".writes", func() float64 { return float64(d.stats.Writes) })
+	reg.GaugeFunc(prefix+".read_energy_pj", func() float64 { return d.stats.ReadEnergy })
+	reg.GaugeFunc(prefix+".write_energy_pj", func() float64 { return d.stats.WriteEnergy })
+	reg.GaugeFunc(prefix+".lines_written", func() float64 { return float64(d.store.linesWritten()) })
+}

@@ -1,0 +1,12 @@
+package star
+
+import "nvmstar/internal/telemetry"
+
+// AttachTelemetry implements secmem.TelemetryAttacher: export the
+// bitmap tracker's ADR/RA traffic (Table II's hit ratio, Fig. 10's
+// extra writes, per-pool occupancy) and the cache-tree's hash work as
+// lazily sampled series.
+func (s *Scheme) AttachTelemetry(reg *telemetry.Registry) {
+	s.tracker.AttachTelemetry(reg, "star.bitmap")
+	s.tree.AttachTelemetry(reg, "star.tree")
+}

@@ -9,6 +9,7 @@ package wb
 import (
 	"nvmstar/internal/secmem"
 	"nvmstar/internal/sit"
+	"nvmstar/internal/telemetry"
 )
 
 // Scheme is the WB baseline.
@@ -47,3 +48,8 @@ func (*Scheme) Reset() {}
 func (*Scheme) Recover() (*secmem.RecoveryReport, error) {
 	return &secmem.RecoveryReport{Scheme: "wb", Supported: false}, secmem.ErrRecoveryUnsupported
 }
+
+// AttachTelemetry implements secmem.TelemetryAttacher as a documented
+// no-op: WB adds no traffic beyond what the engine and device already
+// export, so it registers no series of its own.
+func (*Scheme) AttachTelemetry(*telemetry.Registry) {}

@@ -39,6 +39,7 @@ import (
 	"nvmstar/internal/paged"
 	"nvmstar/internal/simcrypto"
 	"nvmstar/internal/sit"
+	"nvmstar/internal/telemetry"
 )
 
 // forcedFlushWindow is how far a counter may advance past its in-NVM
@@ -142,6 +143,10 @@ type Engine struct {
 	// every dirty transition, MAC refresh and clean, so DirtySetEntries
 	// is O(1) instead of a scan-decode-sort per call.
 	dirtySets [][]SetEntry
+
+	// trace is the optional event-trace sink installed by
+	// AttachTelemetry; nil (the default) makes every emission a no-op.
+	trace *telemetry.Trace
 
 	// macBuf is the reused input buffer for Node/DataMACField. Both
 	// inputs are exactly 80 bytes (addr + 8 counters + parent counter,
@@ -355,6 +360,9 @@ func (e *Engine) insertMeta(id sit.NodeID, line memline.Line, aux *nodeAux) (ins
 			e.auxFree = append(e.auxFree, a)
 		}
 		delete(e.aux, vaddr)
+		if e.trace != nil {
+			e.traceEvict(vaddr)
+		}
 	})
 	return true, nil
 }
@@ -493,6 +501,7 @@ func (e *Engine) bumpSlot(parent sit.NodeID, slot int) (uint64, error) {
 		// still carries its old MAC.
 		e.stats.ForcedFlushes++
 		e.pendingForced = append(e.pendingForced, parent)
+		e.trace.Instant("forced_flush", "secmem")
 	}
 	return newVal, nil
 }

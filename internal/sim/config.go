@@ -49,6 +49,22 @@ type Config struct {
 	// performance gradually rather than serializing everything
 
 	Seed uint64 // workload PRNG seed
+
+	// Telemetry enables the metrics registry: every layer registers its
+	// counters/gauges/histograms on the machine's telemetry.Registry.
+	// Disabled (the default) costs the hot paths nothing — instruments
+	// are nil pointers whose methods are no-ops.
+	Telemetry bool
+	// SampleEveryNs snapshots every registered series each time
+	// simulated time crosses a multiple of this interval, building the
+	// in-memory timelines attached to Results. 0 disables sampling
+	// (the registry still collects end-of-run values). Requires
+	// Telemetry.
+	SampleEveryNs float64
+	// TraceEvents buffers structured events (crash, recovery phases,
+	// forced flushes, sampled metadata evictions) retrievable via
+	// Machine.Trace as Chrome trace-event JSON for Perfetto.
+	TraceEvents bool
 }
 
 // Default returns the paper's configuration scaled to a

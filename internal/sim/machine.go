@@ -16,6 +16,7 @@ import (
 	"nvmstar/internal/schemes/wb"
 	"nvmstar/internal/secmem"
 	"nvmstar/internal/simcrypto"
+	"nvmstar/internal/telemetry"
 )
 
 // Machine is the simulated system. It is single-goroutine by design —
@@ -53,6 +54,16 @@ type Machine struct {
 	ctx     context.Context
 	ctxDone <-chan struct{}
 	ctxPoll uint
+
+	// Observability (nil when disabled; see telemetry.go). The
+	// histogram pointers are nil-safe no-ops, so the hot paths below
+	// call them unconditionally.
+	tel       *telemetry.Registry
+	sampler   *telemetry.Sampler
+	trace     *telemetry.Trace
+	readWait  *telemetry.Histogram
+	writeWait *telemetry.Histogram
+	bankBusy  *telemetry.Histogram
 
 	err error // first engine error (integrity violation = fatal)
 }
@@ -158,6 +169,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 
 	m.engine.Device().SetHook(m.onDeviceAccess)
+	m.initTelemetry()
 	return m, nil
 }
 
@@ -250,6 +262,8 @@ func (m *Machine) onDeviceAccess(write bool, addr uint64) {
 		if m.bankFree[bank] > start {
 			start = m.bankFree[bank]
 		}
+		m.readWait.Observe(start - m.coreNow[c])
+		m.observeBusyBanks(m.coreNow[c])
 		m.bankFree[bank] = start + t.ReadNs()
 		m.coreNow[c] = m.bankFree[bank]
 		return
@@ -257,7 +271,10 @@ func (m *Machine) onDeviceAccess(write bool, addr uint64) {
 	// Queue full? Stall until the oldest outstanding write completes.
 	oldest := m.wqDone[m.wqIdx]
 	if oldest > m.coreNow[c] {
+		m.writeWait.Observe(oldest - m.coreNow[c])
 		m.coreNow[c] = oldest
+	} else {
+		m.writeWait.Observe(0)
 	}
 	// Service completion: aggregate drain rate of Banks/tWR.
 	interval := t.WriteNs() / float64(len(m.bankFree))
@@ -271,6 +288,22 @@ func (m *Machine) onDeviceAccess(write bool, addr uint64) {
 }
 
 func (m *Machine) charge(c int, ns float64) { m.coreNow[c] += ns }
+
+// observeBusyBanks records how many banks are still servicing earlier
+// reads at time now. Guarded so disabled telemetry skips the O(Banks)
+// count, not just the nil-safe Observe.
+func (m *Machine) observeBusyBanks(now float64) {
+	if m.bankBusy == nil {
+		return
+	}
+	busy := 0
+	for _, free := range m.bankFree {
+		if free > now {
+			busy++
+		}
+	}
+	m.bankBusy.Observe(float64(busy))
+}
 
 // --- cache hierarchy ------------------------------------------------------
 
@@ -489,6 +522,7 @@ func (m *Machine) FlushCPUCaches() error {
 // controller's volatile state vanish; battery-backed and on-chip
 // state survives (handled by the engine and scheme).
 func (m *Machine) Crash() {
+	m.trace.InstantAt("crash", "sim", m.maxTimeNs(), 0)
 	for i := range m.l1 {
 		m.l1[i].DropAll()
 		m.l2[i].DropAll()
@@ -500,7 +534,11 @@ func (m *Machine) Crash() {
 
 // Recover runs the active scheme's recovery.
 func (m *Machine) Recover() (*secmem.RecoveryReport, error) {
-	return m.engine.Recover()
+	rep, err := m.engine.Recover()
+	if err == nil && rep != nil && m.trace != nil {
+		m.traceRecovery(rep)
+	}
+	return rep, err
 }
 
 // Reset restores the machine to the state NewMachine would produce for
@@ -544,5 +582,8 @@ func (m *Machine) Reset(seed uint64) {
 	m.wqLastOut = 0
 	m.ctx, m.ctxDone = nil, nil
 	m.ctxPoll = 0
+	m.tel.Reset()
+	m.sampler.Reset()
+	m.trace.Reset()
 	m.err = nil
 }

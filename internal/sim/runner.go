@@ -10,6 +10,7 @@ import (
 	"nvmstar/internal/schemes/anubis"
 	"nvmstar/internal/schemes/star"
 	"nvmstar/internal/secmem"
+	"nvmstar/internal/telemetry"
 	"nvmstar/internal/workload"
 )
 
@@ -34,6 +35,11 @@ type Results struct {
 	DirtyMetaLines int     // dirty metadata cache lines at end of run
 	MetaCacheLines int     // metadata cache capacity
 	DirtyMetaFrac  float64 // Fig. 14a's quantity
+
+	// Timelines holds the sampled series of the measured phase when
+	// Config.Telemetry and SampleEveryNs are set; nil otherwise, so
+	// marshaled Results are byte-identical with telemetry disabled.
+	Timelines []telemetry.Timeline `json:",omitempty"`
 }
 
 // EnergyPJ returns the NVM access energy of the measured phase.
@@ -151,6 +157,7 @@ func (s *Session) StepN(n int) error {
 		if err := s.w.Step(s.ctx, t); err != nil {
 			return fmt.Errorf("sim: %s step %d: %w", s.name, s.step-1, err)
 		}
+		s.m.sample(t)
 		if s.m.err != nil {
 			return s.m.err
 		}
@@ -221,6 +228,9 @@ func (m *Machine) Measure(name string, fn func() error) (*Results, error) {
 	res.MetaCacheLines = m.engine.MetaCache().Lines()
 	if res.MetaCacheLines > 0 {
 		res.DirtyMetaFrac = float64(res.DirtyMetaLines) / float64(res.MetaCacheLines)
+	}
+	if m.sampler != nil && m.sampler.Samples() > 0 {
+		res.Timelines = m.sampler.Timelines()
 	}
 	return res, nil
 }

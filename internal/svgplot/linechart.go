@@ -1,0 +1,124 @@
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LineSeries is one polyline of a LineChart: points (X[i], Y[i]) in
+// ascending X order.
+type LineSeries struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// LineChart is a multi-series line chart — the renderer behind
+// starplot's -timeline mode, drawing sampled telemetry series (dirty
+// metadata fraction, hit ratios, write amplification) over simulated
+// time.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []LineSeries
+	// YMax fixes the y axis; 0 auto-scales to the data.
+	YMax float64
+}
+
+// SVG renders the chart.
+func (c *LineChart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("svgplot: line chart needs at least one series")
+	}
+	var xmin, xmax = math.Inf(1), math.Inf(-1)
+	ymax := c.YMax
+	autoY := ymax <= 0
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("svgplot: series %q has %d x values for %d y values",
+				s.Label, len(s.X), len(s.Y))
+		}
+		points += len(s.X)
+		for i := range s.X {
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if autoY && s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("svgplot: line chart has no points")
+	}
+	if ymax <= 0 {
+		ymax = 1
+	} else if autoY {
+		ymax *= 1.1
+	}
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginT - marginB)
+	x := func(v float64) float64 { return float64(marginL) + plotW*(v-xmin)/(xmax-xmin) }
+	y := func(v float64) float64 { return float64(marginT) + plotH*(1-v/ymax) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", chartW, chartH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartW, chartH)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+	// Y axis with 5 ticks.
+	for i := 0; i <= 5; i++ {
+		v := ymax * float64(i) / 5
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, yy, chartW-marginR, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, yy+4, formatTick(v))
+	}
+	// X axis with 5 ticks.
+	for i := 0; i <= 5; i++ {
+		v := xmin + (xmax-xmin)*float64(i)/5
+		xx := x(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			xx, marginT, xx, chartH-marginB)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			xx, chartH-marginB+16, formatTick(v))
+	}
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-size="12" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2), esc(c.YLabel))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW/2), chartH-14, esc(c.XLabel))
+
+	// Polylines.
+	for si, s := range c.Series {
+		if len(s.X) == 0 {
+			continue
+		}
+		var pts strings.Builder
+		for i := range s.X {
+			v := math.Min(s.Y[i], ymax)
+			fmt.Fprintf(&pts, "%.1f,%.1f ", x(s.X[i]), y(v))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimSpace(pts.String()), palette[si%len(palette)])
+	}
+	// Legend.
+	lx := marginL + 8
+	for si, s := range c.Series {
+		ly := marginT + 8 + si*legendDY
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			lx, ly-9, palette[si%len(palette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", lx+14, ly, esc(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

@@ -1,0 +1,81 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func lineChart() *LineChart {
+	return &LineChart{
+		Title:  "dirty <metadata> & time",
+		XLabel: "simulated time (ns)",
+		YLabel: "fraction",
+		Series: []LineSeries{
+			{Label: "meta.dirty_frac", X: []float64{0, 100, 200, 300}, Y: []float64{0, 0.2, 0.5, 0.4}},
+			{Label: "l3.hit_ratio", X: []float64{0, 100, 200, 300}, Y: []float64{0.9, 0.92, 0.91, 0.93}},
+		},
+	}
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	svg, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polyline count = %d, want 2", got)
+	}
+	if strings.Contains(svg, "<metadata>") {
+		t.Fatal("unescaped angle brackets in output")
+	}
+	if !strings.Contains(svg, "meta.dirty_frac") {
+		t.Fatal("legend entry missing")
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	c := &LineChart{Title: "x"}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	c = &LineChart{Series: []LineSeries{{Label: "s", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("x/y length mismatch accepted")
+	}
+	c = &LineChart{Series: []LineSeries{{Label: "s"}}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("pointless chart accepted")
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	// Single point, all-zero values: no NaN coordinates, no division by
+	// zero from a collapsed x or y range.
+	c := &LineChart{Series: []LineSeries{{Label: "s", X: []float64{5}, Y: []float64{0}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN coordinate in output")
+	}
+}
+
+func TestLineChartClipsToYMax(t *testing.T) {
+	c := &LineChart{
+		YMax:   1,
+		Series: []LineSeries{{Label: "s", X: []float64{0, 1}, Y: []float64{0.5, 40}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y(YMax) = marginT; the clipped point must sit on the top gridline,
+	// not above the plot area.
+	if !strings.Contains(svg, ",40.0") {
+		t.Fatalf("clipped point not at plot top:\n%s", svg)
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+// Timeline is one series' trajectory over simulated time: parallel
+// slices of sample timestamps (ns) and values. It is the substrate for
+// the paper's time-resolved quantities — dirty-metadata fraction,
+// write amplification, hit ratios — which the end-of-run Stats
+// snapshots can only report as endpoints.
+type Timeline struct {
+	Name    string
+	TimesNs []float64
+	Values  []float64
+}
+
+// Last returns the most recent sampled value (0 for an empty
+// timeline).
+func (t *Timeline) Last() float64 {
+	if len(t.Values) == 0 {
+		return 0
+	}
+	return t.Values[len(t.Values)-1]
+}
+
+// Sampler snapshots every series of a Registry at a fixed simulated-
+// time cadence. The machine calls MaybeSample with the issuing core's
+// clock after every operation; samples fire when the clock crosses the
+// next multiple of the interval, so a sample's timestamp is the
+// boundary it crossed, not the (slightly later) instant the crossing
+// was noticed. All methods are nil-safe no-ops.
+type Sampler struct {
+	reg      *Registry
+	interval float64
+	next     float64
+	// series is resolved from the registry at the first sample, after
+	// every component has registered; the order is the registry's
+	// deterministic sorted order.
+	series []Timeline
+}
+
+// NewSampler creates a sampler over reg firing every intervalNs of
+// simulated time. A nil registry or non-positive interval yields a nil
+// (disabled) sampler.
+func NewSampler(reg *Registry, intervalNs float64) *Sampler {
+	if reg == nil || intervalNs <= 0 {
+		return nil
+	}
+	return &Sampler{reg: reg, interval: intervalNs, next: intervalNs}
+}
+
+// MaybeSample takes any samples due at simulated time nowNs. A burst
+// that jumps several intervals at once (one slow NVM stall can advance
+// the clock past many boundaries) records one sample per boundary, so
+// timelines keep their fixed cadence; each boundary re-reads the
+// current values, which is exact for gauges and conservative (step
+// functions) for counters.
+func (s *Sampler) MaybeSample(nowNs float64) {
+	if s == nil {
+		return
+	}
+	for nowNs >= s.next {
+		s.sample(s.next)
+		s.next += s.interval
+	}
+}
+
+func (s *Sampler) sample(tsNs float64) {
+	if s.series == nil {
+		for _, name := range s.reg.SeriesNames() {
+			s.series = append(s.series, Timeline{Name: name})
+		}
+	}
+	i := 0
+	s.reg.Each(func(name string, v float64) {
+		// Registrations after the first sample would misalign the
+		// series; the simulator registers everything at construction,
+		// before any simulated time passes.
+		if i >= len(s.series) || s.series[i].Name != name {
+			panic("telemetry: series registered after sampling started")
+		}
+		s.series[i].TimesNs = append(s.series[i].TimesNs, tsNs)
+		s.series[i].Values = append(s.series[i].Values, v)
+		i++
+	})
+}
+
+// IntervalNs returns the sampling cadence (0 for a nil sampler).
+func (s *Sampler) IntervalNs() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Samples returns how many samples have fired.
+func (s *Sampler) Samples() int {
+	if s == nil || len(s.series) == 0 {
+		return 0
+	}
+	return len(s.series[0].TimesNs)
+}
+
+// Timelines returns a copy of every series' timeline (slice headers
+// are copied; the backing arrays are shared until the next Reset, so
+// consumers treating them as read-only snapshots is the contract).
+func (s *Sampler) Timelines() []Timeline {
+	if s == nil {
+		return nil
+	}
+	out := make([]Timeline, len(s.series))
+	copy(out, s.series)
+	return out
+}
+
+// Timeline returns the named series, or nil if it never sampled.
+func (s *Sampler) Timeline(name string) *Timeline {
+	if s == nil {
+		return nil
+	}
+	for i := range s.series {
+		if s.series[i].Name == name {
+			return &s.series[i]
+		}
+	}
+	return nil
+}
+
+// Reset discards all samples and rewinds the cadence, for machine
+// reuse. Series bindings are re-resolved at the next sample, so a
+// reused machine's timelines start exactly as a fresh machine's would.
+func (s *Sampler) Reset() {
+	if s == nil {
+		return
+	}
+	s.next = s.interval
+	s.series = nil
+}

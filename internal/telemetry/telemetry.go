@@ -1,0 +1,308 @@
+// Package telemetry is the simulator's observability layer: a
+// registry of named counters, gauges and histograms that the machine,
+// engine, device, caches and schemes populate; a simulated-time
+// sampler that turns the registered series into in-memory timelines
+// (sampler.go); and a structured event trace emitted as Chrome
+// trace-event JSON (trace.go).
+//
+// The design constraint is that disabled telemetry must be free: the
+// simulator's hot paths (secmem.Engine.WriteLine is 0 allocs/op) may
+// not regress when nobody is watching. Every instrument is therefore a
+// pointer whose methods are nil-safe no-ops — a component asks a nil
+// *Registry for a counter, gets a nil *Counter back, and `c.Inc()`
+// compiles to a nil check and a return. No interface values, no
+// indirect calls, no allocation on either path.
+//
+// The registry, like the simulator it observes, is single-goroutine:
+// one Registry belongs to one sim.Machine. Cross-goroutine live
+// introspection (the -http mode of starbench/starreport) goes through
+// expvar snapshots instead, never through a Registry.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count. The zero of a
+// run's telemetry: every method on a nil *Counter is a no-op, so
+// instrumented code never branches on "is telemetry on".
+type Counter struct {
+	name string
+	v    float64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n float64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous value set by its owner.
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Set overwrites the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram accumulates a distribution over fixed bucket upper bounds.
+// The sampler exports its count and sum (so means over time are
+// derivable); the full bucket vector is available for end-of-run
+// reporting.
+type Histogram struct {
+	name   string
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []uint64  // len(bounds)+1
+	count  uint64
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns sum/count, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Buckets returns (upper bound, cumulative count) pairs, the last
+// entry being (+Inf as 0-bound sentinel omitted) — callers receive the
+// per-bucket counts aligned with the bounds passed at registration,
+// plus one overflow count.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	return h.bounds, h.counts
+}
+
+// ExpBuckets returns n exponentially growing upper bounds starting at
+// start and multiplying by factor — the usual latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// gaugeFunc is a lazily sampled series: the function runs only when a
+// sample is taken, so registering one costs the instrumented component
+// nothing at runtime.
+type gaugeFunc struct {
+	name string
+	fn   func() float64
+}
+
+// Registry holds a machine's instruments. A nil *Registry is the
+// disabled state: every constructor method returns a nil instrument
+// and every registration is a no-op. Not safe for concurrent use — it
+// belongs to a single simulated machine.
+type Registry struct {
+	counters []*Counter
+	gauges   []*Gauge
+	gfuncs   []gaugeFunc
+	hists    []*Histogram
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// claim reserves a series name; duplicate registration is a wiring bug
+// worth failing loudly on (two components exporting the same name
+// would silently interleave in timelines).
+func (r *Registry) claim(name string) {
+	if r.names[name] {
+		panic(fmt.Sprintf("telemetry: series %q registered twice", name))
+	}
+	r.names[name] = true
+}
+
+// Counter registers and returns a named counter (nil on a nil
+// registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.claim(name)
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers and returns a named gauge (nil on a nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.claim(name)
+	g := &Gauge{name: name}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// GaugeFunc registers a lazily evaluated series. The function runs at
+// sample time only, so it may read live component state (cache stats,
+// device counters) without any hot-path cost.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.claim(name)
+	r.gfuncs = append(r.gfuncs, gaugeFunc{name: name, fn: fn})
+}
+
+// Histogram registers and returns a named histogram over the given
+// ascending bucket upper bounds (nil on a nil registry).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.claim(name)
+	h := &Histogram{name: name, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// SeriesNames returns every registered series name in sorted order. A
+// histogram contributes two series: name.count and name.sum.
+func (r *Registry) SeriesNames() []string {
+	if r == nil {
+		return nil
+	}
+	var names []string
+	for _, c := range r.counters {
+		names = append(names, c.name)
+	}
+	for _, g := range r.gauges {
+		names = append(names, g.name)
+	}
+	for _, gf := range r.gfuncs {
+		names = append(names, gf.name)
+	}
+	for _, h := range r.hists {
+		names = append(names, h.name+".count", h.name+".sum")
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Each calls fn once per registered series with its current value, in
+// the deterministic order of SeriesNames. The sampler is the intended
+// caller.
+func (r *Registry) Each(fn func(name string, value float64)) {
+	if r == nil {
+		return
+	}
+	// The per-kind slices are registration-ordered; merge through the
+	// sorted name list so timelines have a stable, readable order.
+	vals := make(map[string]float64, len(r.names)+len(r.hists))
+	for _, c := range r.counters {
+		vals[c.name] = c.v
+	}
+	for _, g := range r.gauges {
+		vals[g.name] = g.v
+	}
+	for _, gf := range r.gfuncs {
+		vals[gf.name] = gf.fn()
+	}
+	for _, h := range r.hists {
+		vals[h.name+".count"] = float64(h.count)
+		vals[h.name+".sum"] = h.sum
+	}
+	for _, name := range r.SeriesNames() {
+		fn(name, vals[name])
+	}
+}
+
+// Reset zeroes every counter, gauge and histogram while keeping all
+// registrations — the telemetry half of the machine-reuse Reset
+// invariant: a Reset machine's instruments read exactly as a fresh
+// machine's would.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	for _, c := range r.counters {
+		c.v = 0
+	}
+	for _, g := range r.gauges {
+		g.v = 0
+	}
+	for _, h := range r.hists {
+		h.count, h.sum = 0, 0
+		for i := range h.counts {
+			h.counts[i] = 0
+		}
+	}
+}
