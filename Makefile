@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-parallel report examples vet fmt clean race verify verify-telemetry
+.PHONY: all build test test-short bench bench-json bench-parallel report examples vet fmt clean race verify verify-telemetry regress regress-baseline
 
 all: verify
 
@@ -77,6 +77,34 @@ verify-telemetry:
 # Executable paper-vs-measured report; non-zero exit if a shape breaks.
 report:
 	$(GO) run ./cmd/starreport -ops 8000
+
+# Statistical regression gate. A smoke-sized sweep (deterministic: the
+# simulator's results depend only on config + seed, never on the host)
+# is diffed against the committed BASELINE_* artifacts with stardiff;
+# any cell digest drift or out-of-tolerance shape drift fails. The
+# BENCH self-compare is a stardiff sanity check on the bench path.
+# Smoke size is far below the shape gate's operating point, hence
+# -gate=false: absolute shapes are checked by `make report`, this
+# target checks drift against the baseline.
+REGRESS_FLAGS = -ops 1500 -workloads hash,array -seeds 1 -parallel 4 -progress=false -gate=false
+REGRESS_DIR = /tmp/nvmstar-regress
+
+regress:
+	rm -rf $(REGRESS_DIR) && mkdir -p $(REGRESS_DIR)
+	$(GO) run ./cmd/starreport $(REGRESS_FLAGS) \
+		-manifest-out $(REGRESS_DIR)/manifest.json \
+		-shapes-out $(REGRESS_DIR)/shapes.json > $(REGRESS_DIR)/report.md
+	$(GO) run ./cmd/stardiff -tol regress.tolerance.json BASELINE_manifest.json $(REGRESS_DIR)/manifest.json
+	$(GO) run ./cmd/stardiff -tol regress.tolerance.json BASELINE_shapes.json $(REGRESS_DIR)/shapes.json
+	$(GO) run ./cmd/stardiff -tol regress.tolerance.json -q BENCH_hotpath.json BENCH_hotpath.json
+
+# Regenerate the committed regression baselines at the exact config
+# `make regress` runs. Do this deliberately, when a simulator change is
+# meant to move the numbers; the diff shows up in review.
+regress-baseline:
+	$(GO) run ./cmd/starreport $(REGRESS_FLAGS) \
+		-manifest-out BASELINE_manifest.json \
+		-shapes-out BASELINE_shapes.json > /dev/null
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,6 +1,7 @@
 // Command benchjson converts `go test -bench -benchmem` output into a
 // stable JSON document, so benchmark numbers can be committed and
-// diffed across PRs (see `make bench-json` and BENCH_hotpath.json).
+// diffed across PRs (see `make bench-json`, BENCH_hotpath.json and
+// cmd/stardiff).
 //
 //	go test -bench 'EngineWriteLine' -benchmem . | benchjson -o BENCH_hotpath.json
 //
@@ -14,42 +15,30 @@
 //
 // bytes_per_op/allocs_per_op are -1 when the run lacked -benchmem.
 // Records keep input order; `goos:`/`goarch:`/`cpu:` header lines are
-// captured into the top-level "env" object.
+// captured into the top-level "env" object, alongside the Go toolchain
+// version and the repository's git revision (override the latter with
+// -git-rev in clean build environments without a .git directory) —
+// stardiff refuses to compare documents whose env provenance differs.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+	"runtime"
+
+	"nvmstar/internal/benchfmt"
+	"nvmstar/internal/provenance"
 )
-
-// Result is one parsed benchmark line.
-type Result struct {
-	Name        string             `json:"name"`
-	Runs        int64              `json:"runs"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Doc is the emitted JSON document.
-type Doc struct {
-	Env     map[string]string `json:"env,omitempty"`
-	Results []Result          `json:"results"`
-}
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	gitRev := flag.String("git-rev", "", "git revision to record (default: git rev-parse --short HEAD)")
 	flag.Parse()
 
-	doc := Doc{Env: map[string]string{}}
-	readInput := func(r io.Reader) error { return parse(r, &doc) }
+	var doc benchfmt.Doc
+	readInput := func(r io.Reader) error { return benchfmt.Parse(r, &doc) }
 
 	if flag.NArg() == 0 {
 		if err := readInput(os.Stdin); err != nil {
@@ -71,15 +60,19 @@ func main() {
 	if len(doc.Results) == 0 {
 		fatal(fmt.Errorf("no benchmark result lines found in input"))
 	}
-	if len(doc.Env) == 0 {
-		doc.Env = nil
+	doc.SetEnv("go_version", runtime.Version())
+	rev := *gitRev
+	if rev == "" {
+		rev = provenance.GitRevision(".")
+	}
+	if rev != "" {
+		doc.SetEnv("git_rev", rev)
 	}
 
-	enc, err := json.MarshalIndent(doc, "", "  ")
+	enc, err := doc.Marshal()
 	if err != nil {
 		fatal(err)
 	}
-	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
 		return
@@ -92,63 +85,4 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 	os.Exit(1)
-}
-
-// parse scans r for benchmark result and environment header lines.
-func parse(r io.Reader, doc *Doc) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		for _, key := range []string{"goos", "goarch", "cpu", "pkg"} {
-			if v, ok := strings.CutPrefix(line, key+": "); ok {
-				doc.Env[key] = strings.TrimSpace(v)
-			}
-		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		if res, ok := parseResult(line); ok {
-			doc.Results = append(doc.Results, res)
-		}
-	}
-	return sc.Err()
-}
-
-// parseResult parses one result line of the form
-//
-//	BenchmarkName-8  1000  783 ns/op  28 B/op  0 allocs/op  9.0 hashes/update
-func parseResult(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return Result{}, false
-	}
-	runs, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	res := Result{Name: fields[0], Runs: runs, BytesPerOp: -1, AllocsPerOp: -1}
-	seenNs := false
-	// The rest is (value, unit) pairs.
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
-		}
-		switch unit := fields[i+1]; unit {
-		case "ns/op":
-			res.NsPerOp = v
-			seenNs = true
-		case "B/op":
-			res.BytesPerOp = int64(v)
-		case "allocs/op":
-			res.AllocsPerOp = int64(v)
-		default:
-			if res.Metrics == nil {
-				res.Metrics = map[string]float64{}
-			}
-			res.Metrics[unit] = v
-		}
-	}
-	return res, seenNs
 }

@@ -11,7 +11,9 @@
 // The -workloads flag restricts the workload set, e.g.
 // -workloads array,hash. Per-cell completion, wall time and ETA are
 // reported on stderr (-progress=false silences them); Ctrl-C aborts
-// the sweep mid-cell.
+// the sweep mid-cell. -manifest-out writes a run provenance manifest
+// (environment, config fingerprint, per-cell result digests) that
+// stardiff can compare against a baseline.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"syscall"
 
 	"nvmstar/internal/experiments"
+	"nvmstar/internal/provenance"
 	"nvmstar/internal/sim"
 	"nvmstar/internal/telemetry"
 )
@@ -53,6 +56,8 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	httpAddr := flag.String("http", "", "serve live sweep stats (expvar) and pprof on this address, e.g. :6060")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the sweep's cells to this file")
+	manifestOut := flag.String("manifest-out", "", "write a run provenance manifest (per-cell result digests) to this file")
+	gitRev := flag.String("git-rev", "", "git revision recorded in the manifest (default: ask git)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -106,6 +111,11 @@ func run() int {
 	}
 	if *progress {
 		ropts = append(ropts, experiments.WithProgress(printProgress))
+	}
+	var collector *provenance.Collector
+	if *manifestOut != "" {
+		collector = &provenance.Collector{}
+		ropts = append(ropts, experiments.WithCollector(collector))
 	}
 	var sweepTrace *telemetry.Trace
 	if *traceOut != "" {
@@ -191,7 +201,35 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "starbench: unknown experiment %q\n", *exp)
 		return 2
 	}
+
+	if *progress {
+		printFinalStats("starbench", r)
+	}
+	if *manifestOut != "" && code == 0 {
+		if err := writeManifest(*manifestOut, *gitRev, r); err != nil {
+			fmt.Fprintf(os.Stderr, "starbench: -manifest-out: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "starbench: wrote run manifest to %s (%d cells)\n", *manifestOut, collector.Len())
+	}
 	return code
+}
+
+// printFinalStats summarizes the whole run on stderr once every sweep
+// is done — the headless counterpart of the -http expvar endpoint.
+func printFinalStats(prog string, r *experiments.Runner) {
+	s := r.Snapshot()
+	fmt.Fprintf(os.Stderr, "%s: done: %d/%d cells in %.1fs (%d machines built, %d reused, %.1f cells/s)\n",
+		prog, s.CellsDone, s.CellsTotal, r.WallTime().Seconds(), s.MachinesBuilt, s.MachinesReused, s.CellsPerSec)
+}
+
+// writeManifest seals and writes the run's provenance manifest.
+func writeManifest(path, gitRev string, r *experiments.Runner) error {
+	m, err := r.BuildManifest(gitRev)
+	if err != nil {
+		return err
+	}
+	return m.WriteFile(path)
 }
 
 // writeMemProfile captures the allocation profile, reporting (rather

@@ -5,6 +5,14 @@
 // it doubles as a reproduction CI gate:
 //
 //	starreport -ops 8000 -parallel 8 > report.md
+//
+// Provenance and regression plumbing: -manifest-out / -shapes-out
+// persist the run as machine-readable artifacts, -baseline diffs the
+// fresh shapes against a committed shapes report (adding a drift
+// column to the markdown and failing on out-of-tolerance drift), and
+// -gate=false downgrades shape failures to warnings — for generating
+// baselines from smoke-sized runs whose absolute shapes are not
+// expected to hold.
 package main
 
 import (
@@ -14,21 +22,33 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"nvmstar/internal/experiments"
+	"nvmstar/internal/provenance"
+	"nvmstar/internal/regress"
 	"nvmstar/internal/shapes"
 	"nvmstar/internal/sim"
 	"nvmstar/internal/telemetry"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	ops := flag.Int("ops", 8000, "measured operations per workload run")
 	seeds := flag.Int("seeds", 1, "seeds to average per cell")
+	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all seven)")
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
 	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", true, "report per-cell completion, rate and ETA on stderr")
 	httpAddr := flag.String("http", "", "serve live sweep stats (expvar) and pprof on this address, e.g. :6060")
+	manifestOut := flag.String("manifest-out", "", "write a run provenance manifest (per-cell result digests) to this file")
+	shapesOut := flag.String("shapes-out", "", "write the shape report as JSON to this file")
+	baseline := flag.String("baseline", "", "shapes-report JSON to diff against; drift beyond tolerance fails the run")
+	tolPath := flag.String("tol", "", "tolerance config JSON for -baseline (default: built-in thresholds)")
+	gitRev := flag.String("git-rev", "", "git revision recorded in the manifest (default: ask git)")
+	gate := flag.Bool("gate", true, "exit non-zero when a shape check fails")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -45,6 +65,9 @@ func main() {
 			return cfg
 		}),
 	}
+	if *workloads != "" {
+		ropts = append(ropts, experiments.WithWorkloads(strings.Split(*workloads, ",")...))
+	}
 	if *progress {
 		ropts = append(ropts, experiments.WithProgress(func(p experiments.Progress) {
 			cell := p.Cell.Workload + "/" + p.Cell.Scheme
@@ -55,6 +78,11 @@ func main() {
 				p.Done, p.Total, cell, p.CellWall.Seconds(), p.Elapsed.Seconds(), p.CellsPerSec, p.ETA.Seconds())
 		}))
 	}
+	var collector *provenance.Collector
+	if *manifestOut != "" {
+		collector = &provenance.Collector{}
+		ropts = append(ropts, experiments.WithCollector(collector))
+	}
 	r := experiments.NewRunner(ropts...)
 
 	if *httpAddr != "" {
@@ -64,7 +92,7 @@ func main() {
 		addr, err := srv.Start()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "starreport: -http:", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Fprintf(os.Stderr, "starreport: live stats on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
 	}
@@ -73,14 +101,68 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "starreport: interrupted")
-			os.Exit(130)
+			return 130
 		}
 		fmt.Fprintln(os.Stderr, "starreport:", err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Print(rep.Markdown())
+	if *progress {
+		s := r.Snapshot()
+		fmt.Fprintf(os.Stderr, "starreport: done: %d/%d cells in %.1fs (%d machines built, %d reused, %.1f cells/s)\n",
+			s.CellsDone, s.CellsTotal, r.WallTime().Seconds(), s.MachinesBuilt, s.MachinesReused, s.CellsPerSec)
+	}
+
+	// Persist artifacts before gating, so a failing run still leaves
+	// evidence to diff.
+	if *shapesOut != "" {
+		if err := rep.WriteFile(*shapesOut); err != nil {
+			fmt.Fprintln(os.Stderr, "starreport: -shapes-out:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "starreport: wrote shape report to %s\n", *shapesOut)
+	}
+	if *manifestOut != "" {
+		m, err := r.BuildManifest(*gitRev)
+		if err == nil {
+			err = m.WriteFile(*manifestOut)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starreport: -manifest-out:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "starreport: wrote run manifest to %s (%d cells)\n", *manifestOut, collector.Len())
+	}
+
+	code := 0
+	var drift map[string]string
+	if *baseline != "" {
+		tol := regress.DefaultTolerance()
+		if *tolPath != "" {
+			if tol, err = regress.LoadTolerance(*tolPath); err != nil {
+				fmt.Fprintln(os.Stderr, "starreport: -tol:", err)
+				return 2
+			}
+		}
+		base, err := shapes.ReadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starreport: -baseline:", err)
+			return 2
+		}
+		v := regress.CompareShapes(base, rep, tol)
+		drift = regress.DriftByName(v)
+		if v.Regressed() {
+			fmt.Fprintf(os.Stderr, "starreport: drift vs %s exceeds tolerance:\n%s", *baseline, v.Markdown())
+			code = 1
+		}
+	}
+
+	fmt.Print(rep.MarkdownWithDrift(drift))
 	if !rep.Passed() {
-		fmt.Fprintln(os.Stderr, "starreport: one or more shape checks FAILED")
-		os.Exit(1)
+		if *gate {
+			fmt.Fprintln(os.Stderr, "starreport: one or more shape checks FAILED")
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "starreport: shape failures ignored (-gate=false)")
 	}
+	return code
 }

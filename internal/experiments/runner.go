@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"nvmstar/internal/bitmap"
 	"nvmstar/internal/cache"
+	"nvmstar/internal/provenance"
 	"nvmstar/internal/schemes/star"
 	"nvmstar/internal/sim"
 	"nvmstar/internal/telemetry"
@@ -34,6 +36,7 @@ type Runner struct {
 	parallel  int
 	progress  func(Progress)
 	trace     *telemetry.Trace
+	collector *provenance.Collector
 
 	// Live sweep introspection, cumulative across this runner's sweeps
 	// and read lock-free by Snapshot (expvar handlers poll it from
@@ -44,6 +47,8 @@ type Runner struct {
 	machinesReused atomic.Int64
 	sweepDone      atomic.Int64 // cells completed in the active sweep
 	sweepStart     atomic.Int64 // UnixNano of the active sweep's start
+	sweepEnd       atomic.Int64 // UnixNano of the active sweep's completion (0 while running)
+	wallNs         atomic.Int64 // total sweep wall time across this runner's sweeps
 }
 
 // Option configures a Runner (functional options).
@@ -93,6 +98,15 @@ func WithProgress(fn func(Progress)) Option { return func(r *Runner) { r.progres
 // sweep's start. Events are appended under the pool's bookkeeping
 // lock, so the single trace buffer is safe across workers.
 func WithTrace(tr *telemetry.Trace) Option { return func(r *Runner) { r.trace = tr } }
+
+// WithCollector attaches a provenance collector: every completed cell
+// of every sweep on this runner is digested into it (canonical-JSON
+// SHA-256 of the cell's Results, or of the recovery report for crash
+// cells), and BuildManifest assembles the run manifest from it after
+// the sweeps finish. Recording is concurrency-safe and ordered
+// deterministically, so manifests are independent of pool width and
+// scheduling.
+func WithCollector(c *provenance.Collector) Option { return func(r *Runner) { r.collector = c } }
 
 // WithOptions imports a legacy Options value — the bridge the
 // deprecated package-level entry points use.
@@ -181,7 +195,12 @@ type Stats struct {
 	CellsPerSec    float64 // completion rate of the active/last sweep
 }
 
-// Snapshot returns the runner's live counters.
+// Snapshot returns the runner's live counters. While a sweep runs,
+// CellsPerSec is the live completion rate; once the sweep finishes it
+// freezes at the final rate (elapsed measured to the sweep's end, not
+// to whenever Snapshot is called), so headless consumers — manifests
+// and -progress summaries — read stable final Stats without the -http
+// expvar server.
 func (r *Runner) Snapshot() Stats {
 	s := Stats{
 		CellsDone:      r.cellsDone.Load(),
@@ -191,12 +210,74 @@ func (r *Runner) Snapshot() Stats {
 	}
 	if start := r.sweepStart.Load(); start != 0 {
 		if done := r.sweepDone.Load(); done > 0 {
-			if el := time.Since(time.Unix(0, start)).Seconds(); el > 0 {
+			el := time.Since(time.Unix(0, start)).Seconds()
+			if end := r.sweepEnd.Load(); end > start {
+				el = time.Duration(end - start).Seconds()
+			}
+			if el > 0 {
 				s.CellsPerSec = float64(done) / el
 			}
 		}
 	}
 	return s
+}
+
+// WallTime returns the total wall-clock time this runner has spent
+// inside completed sweeps.
+func (r *Runner) WallTime() time.Duration { return time.Duration(r.wallNs.Load()) }
+
+// record digests one completed cell into the attached collector (a
+// no-op without one). v is the cell's result value; it must be nil
+// when err is non-nil.
+func (r *Runner) record(sweep string, c Cell, start time.Time, v any, err error) {
+	if r.collector == nil {
+		return
+	}
+	r.collector.Record(sweep, c.Workload, c.Scheme, c.Seed, c.Label, time.Since(start), v, err)
+}
+
+// BuildManifest assembles the provenance manifest of everything the
+// attached collector has recorded: environment, seedless config
+// fingerprint, seed matrix, final Stats, wall and simulated time, and
+// the per-cell digest trail. gitRev overrides git-revision detection
+// (empty runs `git rev-parse` best-effort). Call it after the sweeps
+// of interest have completed; the manifest is sealed with its own
+// digest over the run-invariant subset.
+func (r *Runner) BuildManifest(gitRev string) (*provenance.Manifest, error) {
+	if r.collector == nil {
+		return nil, errors.New("experiments: BuildManifest requires a runner built WithCollector")
+	}
+	cfg := r.cfg()
+	seeds := make([]uint64, r.seeds)
+	for i := range seeds {
+		seeds[i] = cfg.Seed + uint64(i)*7919
+	}
+	stats := r.Snapshot()
+	m := &provenance.Manifest{
+		Schema:    provenance.SchemaVersion,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Env:       provenance.CaptureEnv(gitRev),
+		Config: provenance.RunConfig{
+			Fingerprint: provenance.ConfigFingerprint(cfg),
+			Ops:         r.ops,
+			Seeds:       r.seeds,
+			BaseSeed:    cfg.Seed,
+			SeedMatrix:  seeds,
+			Workloads:   r.workloadList(),
+			Parallelism: r.parallel,
+		},
+		Stats: provenance.RunnerStats{
+			CellsDone:      stats.CellsDone,
+			MachinesBuilt:  stats.MachinesBuilt,
+			MachinesReused: stats.MachinesReused,
+			CellsPerSec:    stats.CellsPerSec,
+		},
+		WallNs:    r.wallNs.Load(),
+		SimTimeNs: r.collector.SimTimeNs(),
+		Cells:     r.collector.Cells(),
+	}
+	m.Seal()
+	return m, nil
 }
 
 // Matrix expands workloads x schemes x the runner's seed count into
@@ -235,12 +316,38 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 		start := time.Now()
 		res, runErr := r.runSeed(ctx, mp, cells[i])
 		out[i] = CellResult{Cell: cells[i], Results: res, Err: runErr, Wall: time.Since(start)}
-		if runErr != nil && ctx.Err() != nil {
-			return ctx.Err()
+		if runErr != nil {
+			r.record("matrix", cells[i], start, nil, runErr)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return nil
 		}
+		r.record("matrix", cells[i], start, res, nil)
 		return nil
 	})
 	return out, err
+}
+
+// Sweep is one completed Run with its final accounting: the per-cell
+// results plus the Stats the live expvar endpoints would have shown at
+// completion — available headless, after the fact.
+type Sweep struct {
+	Results []CellResult
+	Stats   Stats // runner counters at sweep completion (cumulative across its sweeps)
+	Wall    time.Duration
+}
+
+// RunSweep is Run returning the final Stats alongside the results, so
+// manifests and -progress summaries can report pool effectiveness
+// (machines built vs reused, cells/sec) without the -http server.
+func (r *Runner) RunSweep(ctx context.Context, cells []Cell) (*Sweep, error) {
+	start := time.Now()
+	out, err := r.Run(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	return &Sweep{Results: out, Stats: r.Snapshot(), Wall: time.Since(start)}, nil
 }
 
 // Stream is Run delivering each CellResult as it completes (completion
@@ -256,6 +363,11 @@ func (r *Runner) Stream(ctx context.Context, cells []Cell) <-chan CellResult {
 		r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
 			start := time.Now()
 			res, runErr := r.runSeed(ctx, mp, cells[i])
+			if runErr != nil {
+				r.record("matrix", cells[i], start, nil, runErr)
+			} else {
+				r.record("matrix", cells[i], start, res, nil)
+			}
 			cr := CellResult{Cell: cells[i], Results: res, Err: runErr, Wall: time.Since(start)}
 			select {
 			case ch <- cr:
@@ -351,6 +463,7 @@ func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx cont
 	)
 	r.cellsTotal.Add(int64(len(cells)))
 	r.sweepDone.Store(0)
+	r.sweepEnd.Store(0)
 	r.sweepStart.Store(start.UnixNano())
 	idx := make(chan int)
 	go func() {
@@ -410,6 +523,11 @@ func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx cont
 		}(w)
 	}
 	wg.Wait()
+	// Freeze the sweep clock so Snapshot's CellsPerSec stops decaying
+	// once the sweep is over, and fold this sweep into the runner's
+	// total wall time.
+	r.sweepEnd.Store(time.Now().UnixNano())
+	r.wallNs.Add(time.Since(start).Nanoseconds())
 	if firstErr != nil {
 		return firstErr
 	}
@@ -569,9 +687,15 @@ func (r *Runner) Fig10(ctx context.Context) ([]Fig10Row, error) {
 	}
 	results := make([]*sim.Results, len(cells))
 	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
+		start := time.Now()
 		res, err := r.runAveraged(ctx, mp, cells[i].Workload, cells[i].Scheme)
 		results[i] = res
-		return err
+		if err != nil {
+			r.record("fig10", cells[i], start, nil, err)
+			return err
+		}
+		r.record("fig10", cells[i], start, res, nil)
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -611,9 +735,15 @@ func (r *Runner) SchemeComparison(ctx context.Context, schemes []string) ([]Sche
 	}
 	results := make([]*sim.Results, len(cells))
 	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
+		start := time.Now()
 		res, err := r.runAveraged(ctx, mp, cells[i].Workload, cells[i].Scheme)
 		results[i] = res
-		return err
+		if err != nil {
+			r.record("scheme-comparison", cells[i], start, nil, err)
+			return err
+		}
+		r.record("scheme-comparison", cells[i], start, res, nil)
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -671,18 +801,22 @@ func (r *Runner) Table2(ctx context.Context, lineCounts []int) ([]Table2Row, err
 	}
 	ratios := make([]float64, len(cells))
 	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
+		start := time.Now()
 		p := points[i/len(workloads)]
 		cfg := r.cfg()
 		cfg.Scheme = "star"
 		cfg.Bitmap = bitmap.Config{ADRL1Lines: p.lines - p.l2, ADRL2Lines: p.l2}
 		m, err := mp.machine(cfg)
 		if err != nil {
+			r.record("table2", cells[i], start, nil, err)
 			return err
 		}
 		res, err := m.RunCtx(ctx, cells[i].Workload, r.opsFor("star"))
 		if err != nil {
+			r.record("table2", cells[i], start, nil, err)
 			return err
 		}
+		r.record("table2", cells[i], start, res, nil)
 		ratios[i] = res.Bitmap.HitRatio()
 		return nil
 	})
@@ -714,10 +848,13 @@ func (r *Runner) Fig14a(ctx context.Context) ([]Fig14aRow, error) {
 	}
 	rows := make([]Fig14aRow, len(cells))
 	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
+		start := time.Now()
 		res, err := r.runAveraged(ctx, mp, cells[i].Workload, "star")
 		if err != nil {
+			r.record("fig14a", cells[i], start, nil, err)
 			return err
 		}
+		r.record("fig14a", cells[i], start, res, nil)
 		rows[i] = Fig14aRow{Workload: cells[i].Workload, DirtyFrac: res.DirtyMetaFrac}
 		return nil
 	})
@@ -747,6 +884,7 @@ func (r *Runner) Fig14b(ctx context.Context, cacheSizes []int) ([]Fig14bRow, err
 	}
 	recs := make([]rec, len(cells))
 	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
+		start := time.Now()
 		size := cacheSizes[i/len(schemes)]
 		scheme := schemes[i%len(schemes)]
 		cfg := r.cfg()
@@ -754,12 +892,15 @@ func (r *Runner) Fig14b(ctx context.Context, cacheSizes []int) ([]Fig14bRow, err
 		cfg.MetaCache = cache.Config{SizeBytes: size, Ways: 8}
 		m, err := r.crashRun(ctx, mp, cfg, "hash")
 		if err != nil {
+			r.record("fig14b", cells[i], start, nil, err)
 			return err
 		}
 		rep, err := m.Recover()
 		if err != nil {
+			r.record("fig14b", cells[i], start, nil, err)
 			return err
 		}
+		r.record("fig14b", cells[i], start, rep, nil)
 		recs[i] = rec{seconds: rep.TimeSeconds(), stale: rep.StaleNodes}
 		return nil
 	})
@@ -794,26 +935,26 @@ func (r *Runner) AblationIndex(ctx context.Context) ([]AblationIndexRow, error) 
 	}
 	recs := make([]rec, len(cells))
 	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
+		start := time.Now()
 		flat := i%2 == 1
 		cfg := r.cfg()
 		cfg.Scheme = "star"
 		m, err := r.crashRun(ctx, mp, cfg, cells[i].Workload)
 		if err != nil {
+			r.record("ablation-index", cells[i], start, nil, err)
 			return err
 		}
 		s := m.Engine().Scheme().(*star.Scheme)
+		recover := s.Recover
 		if flat {
-			rep, err := s.RecoverFlatScan()
-			if err != nil {
-				return err
-			}
-			recs[i] = rec{reads: rep.IndexReads, secs: rep.TimeSeconds()}
-			return nil
+			recover = s.RecoverFlatScan
 		}
-		rep, err := s.Recover()
+		rep, err := recover()
 		if err != nil {
+			r.record("ablation-index", cells[i], start, nil, err)
 			return err
 		}
+		r.record("ablation-index", cells[i], start, rep, nil)
 		recs[i] = rec{reads: rep.IndexReads, secs: rep.TimeSeconds()}
 		return nil
 	})

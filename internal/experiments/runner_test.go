@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nvmstar/internal/cache"
+	"nvmstar/internal/provenance"
 	"nvmstar/internal/sim"
 )
 
@@ -105,14 +106,21 @@ func TestRunnerDeterminism(t *testing.T) {
 // ground truth the pool is supposed to be invisible relative to: for
 // every cell of a sweep that forces heavy per-worker reuse (many cells,
 // few distinct configurations, 2 workers), a machine built from scratch
-// for exactly that cell must produce bit-identical Results.
+// for exactly that cell must produce bit-identical Results — and,
+// since the provenance layer leans on exactly this invariant, a
+// byte-identical canonical-JSON cell digest.
 func TestRunnerMachineReuseMatchesFresh(t *testing.T) {
 	ctx := context.Background()
-	r := fastRunner(2)
+	collector := provenance.NewCollector()
+	r := fastRunner(2, WithCollector(collector))
 	cells := r.Matrix([]string{"array", "queue"}, []string{"wb", "star", "strict"})
 	got, err := r.Run(ctx, cells)
 	if err != nil {
 		t.Fatal(err)
+	}
+	digests := map[string]string{}
+	for _, rec := range collector.Cells() {
+		digests[rec.Key()] = rec.Digest
 	}
 	for i, cr := range got {
 		if cr.Err != nil {
@@ -134,6 +142,101 @@ func TestRunnerMachineReuseMatchesFresh(t *testing.T) {
 			t.Errorf("cell %v: pooled results differ from a fresh machine:\nfresh  %+v\npooled %+v",
 				cells[i], want, cr.Results)
 		}
+		freshDigest, err := provenance.Digest(want)
+		if err != nil {
+			t.Fatalf("cell %v: digest: %v", cells[i], err)
+		}
+		key := provenance.CellRecord{Sweep: "matrix", Workload: cells[i].Workload,
+			Scheme: cells[i].Scheme, Seed: cells[i].Seed, Label: cells[i].Label}.Key()
+		if pooled, ok := digests[key]; !ok || pooled != freshDigest {
+			t.Errorf("cell %v: pooled digest %q != fresh digest %q (reuse leaks into provenance)",
+				cells[i], pooled, freshDigest)
+		}
+	}
+}
+
+// TestRunSweepFinalStats checks the headless Stats path: a completed
+// RunSweep must report the sweep's accounting without the -http expvar
+// server, with a frozen (non-decaying) completion rate.
+func TestRunSweepFinalStats(t *testing.T) {
+	r := fastRunner(2)
+	cells := r.Matrix([]string{"array"}, []string{"wb", "star"})
+	sw, err := r.RunSweep(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Results) != len(cells) {
+		t.Fatalf("results = %d, want %d", len(sw.Results), len(cells))
+	}
+	s := sw.Stats
+	if s.CellsDone != int64(len(cells)) || s.CellsTotal != int64(len(cells)) {
+		t.Fatalf("final stats miscount cells: %+v", s)
+	}
+	if s.MachinesBuilt+s.MachinesReused != int64(len(cells)) {
+		t.Fatalf("pool accounting does not cover every cell: %+v", s)
+	}
+	if s.CellsPerSec <= 0 {
+		t.Fatalf("final CellsPerSec not reported: %+v", s)
+	}
+	if sw.Wall <= 0 || r.WallTime() <= 0 {
+		t.Fatalf("wall time not tracked: sweep %v, runner %v", sw.Wall, r.WallTime())
+	}
+	// The rate must be frozen at sweep completion, not decay with
+	// wall-clock time after it.
+	if later := r.Snapshot().CellsPerSec; later != s.CellsPerSec {
+		t.Fatalf("CellsPerSec decays after the sweep: %v then %v", s.CellsPerSec, later)
+	}
+}
+
+// TestRunnerManifestDeterministic runs the same mixed sweep set twice
+// — once sequentially, once on a 4-wide pool — and requires identical
+// manifests modulo environment/wall noise: same cells, same digests,
+// same sealed manifest digest.
+func TestRunnerManifestDeterministic(t *testing.T) {
+	ctx := context.Background()
+	build := func(parallel int) *provenance.Manifest {
+		c := provenance.NewCollector()
+		r := fastRunner(parallel, WithCollector(c))
+		if _, err := r.Run(ctx, r.Matrix(nil, []string{"wb", "star"})); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Fig14a(ctx); err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.BuildManifest("test-rev")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	seq, par := build(1), build(4)
+	if err := seq.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Cells) == 0 || len(seq.Cells) != len(par.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(seq.Cells), len(par.Cells))
+	}
+	for i := range seq.Cells {
+		if seq.Cells[i].Key() != par.Cells[i].Key() || seq.Cells[i].Digest != par.Cells[i].Digest {
+			t.Fatalf("cell %d differs across pool widths:\nseq %+v\npar %+v",
+				i, seq.Cells[i], par.Cells[i])
+		}
+	}
+	if seq.Digest != par.Digest {
+		t.Fatalf("manifest digests differ across pool widths: %s vs %s", seq.Digest, par.Digest)
+	}
+	if seq.Config.Fingerprint == "" || seq.Env.GitRev != "test-rev" {
+		t.Fatalf("manifest misses provenance fields: %+v", seq)
+	}
+	if seq.SimTimeNs <= 0 {
+		t.Fatalf("simulated time not aggregated: %+v", seq.SimTimeNs)
+	}
+}
+
+// TestBuildManifestRequiresCollector pins the error path.
+func TestBuildManifestRequiresCollector(t *testing.T) {
+	if _, err := fastRunner(1).BuildManifest(""); err == nil {
+		t.Fatal("BuildManifest without a collector must fail")
 	}
 }
 

@@ -1,0 +1,92 @@
+package provenance
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"nvmstar/internal/sim"
+)
+
+// Collector accumulates cell records as a sweep's workers complete
+// cells. It is safe for concurrent use; Cells returns a
+// deterministically sorted copy, so the resulting manifest is
+// independent of worker scheduling.
+type Collector struct {
+	mu    sync.Mutex
+	cells []CellRecord
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record digests one completed cell. v is the cell's result value
+// (typically *sim.Results, or a *secmem.RecoveryReport for crash
+// cells); a nil v or a run error records the cell without a digest so
+// failures still appear in the manifest.
+func (c *Collector) Record(sweep, workload, scheme string, seed int, label string, wall time.Duration, v any, runErr error) {
+	rec := CellRecord{
+		Sweep: sweep, Workload: workload, Scheme: scheme,
+		Seed: seed, Label: label, WallNs: wall.Nanoseconds(),
+	}
+	if runErr != nil {
+		rec.Err = runErr.Error()
+	} else if v != nil {
+		d, err := Digest(v)
+		if err != nil {
+			rec.Err = "digest: " + err.Error()
+		} else {
+			rec.Digest = d
+		}
+		if res, ok := v.(*sim.Results); ok && res != nil {
+			rec.SimTimeNs = res.TimeNs
+		}
+	}
+	c.mu.Lock()
+	c.cells = append(c.cells, rec)
+	c.mu.Unlock()
+}
+
+// Cells returns a copy of the records sorted by cell identity
+// (sweep, workload, scheme, seed, label) — completion order is a
+// scheduling artifact and must not leak into manifests.
+func (c *Collector) Cells() []CellRecord {
+	c.mu.Lock()
+	out := append([]CellRecord(nil), c.cells...)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Sweep != b.Sweep {
+			return a.Sweep < b.Sweep
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.Label < b.Label
+	})
+	return out
+}
+
+// Len reports how many cells have been recorded.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// SimTimeNs sums the simulated time of every recorded cell.
+func (c *Collector) SimTimeNs() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum float64
+	for _, r := range c.cells {
+		sum += r.SimTimeNs
+	}
+	return sum
+}

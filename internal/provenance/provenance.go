@@ -1,0 +1,146 @@
+// Package provenance fingerprints experiment runs so two sweeps are
+// comparable without re-reading their full results. Every run gets a
+// manifest: the environment it ran in (Go toolchain, OS/arch, CPU, git
+// revision), a seedless fingerprint of the simulator configuration,
+// the seed matrix, wall and simulated time, the runner's final pool
+// statistics, and a SHA-256 digest of each cell's canonical-JSON
+// results. The simulator is deterministic, so cell digests are
+// machine-independent (on a given architecture's floating-point
+// contraction behaviour): a digest mismatch between two manifests
+// localizes exactly which workload x scheme x seed cell diverged.
+//
+// Digest canonicalization: the value is marshaled with encoding/json,
+// re-decoded with json.Number (so integers above 2^53 survive
+// byte-exactly), and re-encoded — object keys end up sorted and
+// numbers keep their shortest-form literals, making the bytes a stable
+// function of the value alone.
+package provenance
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"nvmstar/internal/sim"
+)
+
+// CanonicalJSON renders v as canonical JSON: compact, object keys
+// sorted, number literals preserved (no float64 round-trip for large
+// integers).
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, err
+	}
+	// encoding/json sorts map keys and emits json.Number literals
+	// verbatim, which is exactly the canonical form.
+	return json.Marshal(tree)
+}
+
+// Digest returns the lowercase-hex SHA-256 of v's canonical JSON.
+func Digest(v any) (string, error) {
+	b, err := CanonicalJSON(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Env records where a run happened. Digests are expected to agree
+// across environments (the simulator is deterministic); wall-clock
+// numbers are not, so comparators use Env to decide which fields are
+// meaningful to diff.
+type Env struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	CPU       string `json:"cpu,omitempty"`
+	GitRev    string `json:"git_rev,omitempty"`
+}
+
+// CaptureEnv snapshots the current process's environment. gitRev
+// overrides revision detection (for clean build environments without a
+// .git directory); empty falls back to `git rev-parse --short HEAD`.
+func CaptureEnv(gitRev string) Env {
+	if gitRev == "" {
+		gitRev = GitRevision(".")
+	}
+	return Env{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		CPU:       cpuModel(),
+		GitRev:    gitRev,
+	}
+}
+
+// GitRevision returns the short HEAD revision of the repository
+// containing dir (with a "+dirty" suffix when the worktree has
+// uncommitted changes), or "" when git or the repository is absent —
+// provenance capture must never fail a run.
+func GitRevision(dir string) string {
+	out, err := exec.Command("git", "-C", dir, "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	rev := strings.TrimSpace(string(out))
+	if rev == "" {
+		return ""
+	}
+	if status, err := exec.Command("git", "-C", dir, "status", "--porcelain").Output(); err == nil &&
+		len(bytes.TrimSpace(status)) > 0 {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// cpuModel best-effort reads the CPU model name (Linux /proc/cpuinfo;
+// empty elsewhere).
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// ConfigFingerprint fingerprints a simulator configuration with the
+// seed zeroed — the same equivalence the experiment runner's machine
+// pool uses, extended by hashing: two runs with equal fingerprints
+// simulate the same machine and differ only in seeds, so their cell
+// digests are directly comparable. A caller-supplied crypto suite is
+// stateful and not fingerprintable; its presence is recorded so such
+// configs never compare equal to a default-suite run.
+func ConfigFingerprint(cfg sim.Config) string {
+	customSuite := cfg.Suite != nil
+	cfg.Suite = nil
+	cfg.Seed = 0
+	s := fmt.Sprintf("%+v", cfg)
+	if customSuite {
+		s += "+custom-suite"
+	}
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,119 @@
+package regress
+
+import (
+	"fmt"
+	"sort"
+
+	"nvmstar/internal/benchfmt"
+)
+
+// EnvMismatchError is the refusal CompareBench returns when the two
+// documents were measured in different environments: their timing
+// numbers are not comparable, and a diff would report machine
+// differences as code regressions.
+type EnvMismatchError struct {
+	Key      string
+	Old, New string
+}
+
+func (e *EnvMismatchError) Error() string {
+	return fmt.Sprintf("regress: benchmark env provenance differs: %s = %q vs %q (numbers from different environments are not comparable)",
+		e.Key, e.Old, e.New)
+}
+
+// CompareBench diffs two benchmark documents per benchmark name:
+// ns/op, B/op and allocs/op deltas against the tolerance's noise
+// thresholds, plus custom metrics (direction-agnostic). It refuses
+// with *EnvMismatchError when any tol.RequireSameEnv key differs
+// between the documents; a key present in only one document is
+// reported as info, so documents predating a provenance field stay
+// comparable.
+func CompareBench(old, new *benchfmt.Doc, tol Tolerance) (*Verdict, error) {
+	v := &Verdict{Kind: "bench"}
+	for _, key := range tol.RequireSameEnv {
+		o, okO := old.Env[key]
+		n, okN := new.Env[key]
+		if okO && okN && o != n {
+			return nil, &EnvMismatchError{Key: key, Old: o, New: n}
+		}
+		if okO != okN {
+			v.add(Item{Kind: "env", Name: key, Status: StatusInfo, Old: o, New: n,
+				Detail: "present in only one document"})
+		}
+	}
+	for key, o := range old.Env {
+		if n, ok := new.Env[key]; ok && n != o && !contains(tol.RequireSameEnv, key) {
+			v.add(Item{Kind: "env", Name: key, Status: StatusInfo, Old: o, New: n})
+		}
+	}
+
+	newIdx := new.Index()
+	seen := map[string]bool{}
+	for _, ob := range old.Results {
+		seen[ob.Name] = true
+		nb, ok := newIdx[ob.Name]
+		if !ok {
+			v.add(Item{Kind: "bench", Name: ob.Name, Status: StatusMissing,
+				Old:    fmt.Sprintf("%.4g ns/op", ob.NsPerOp),
+				Detail: "benchmark disappeared from the new document"})
+			continue
+		}
+		compareOne(v, ob, nb, tol)
+	}
+	names := make([]string, 0, len(newIdx))
+	for name := range newIdx {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v.add(Item{Kind: "bench", Name: name, Status: StatusAdded,
+			New: fmt.Sprintf("%.4g ns/op", newIdx[name].NsPerOp)})
+	}
+	return v, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// compareOne diffs one benchmark's dimensions. Lower is better for
+// ns/op, B/op and allocs/op; custom metrics have unknown direction, so
+// any drift beyond tolerance regresses (a metric that moved needs a
+// human decision either way).
+func compareOne(v *Verdict, old, new benchfmt.Result, tol Tolerance) {
+	dim := func(name string, o, n, frac float64, directional bool) {
+		delta := relDelta(o, n)
+		st := classify(delta, frac)
+		if !directional && st == StatusImproved {
+			st = StatusRegressed
+		}
+		v.add(Item{
+			Kind: "bench", Name: old.Name, Detail: name, Status: st,
+			Old: fmt.Sprintf("%.4g", o), New: fmt.Sprintf("%.4g", n), DeltaFrac: delta,
+		})
+	}
+	dim("ns/op", old.NsPerOp, new.NsPerOp, tol.NsPerOpFrac, true)
+	if old.BytesPerOp >= 0 && new.BytesPerOp >= 0 {
+		dim("B/op", float64(old.BytesPerOp), float64(new.BytesPerOp), tol.BytesPerOpFrac, true)
+	}
+	if old.AllocsPerOp >= 0 && new.AllocsPerOp >= 0 {
+		dim("allocs/op", float64(old.AllocsPerOp), float64(new.AllocsPerOp), tol.AllocsPerOpFrac, true)
+	}
+	keys := make([]string, 0, len(old.Metrics))
+	for k := range old.Metrics {
+		if _, ok := new.Metrics[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dim(k, old.Metrics[k], new.Metrics[k], tol.MetricFrac, false)
+	}
+}

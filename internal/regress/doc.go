@@ -1,0 +1,71 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"nvmstar/internal/benchfmt"
+	"nvmstar/internal/provenance"
+	"nvmstar/internal/shapes"
+)
+
+// Doc is one loaded comparison artifact with its detected kind;
+// exactly one of the payload fields is set.
+type Doc struct {
+	Kind     string // "bench", "shapes" or "manifest"
+	Bench    *benchfmt.Doc
+	Shapes   *shapes.Report
+	Manifest *provenance.Manifest
+}
+
+// ReadDoc loads path and sniffs which artifact it is: a provenance
+// manifest ("schema" + "cells"), a benchmark document ("results"), or
+// a shapes report ("Checks").
+func ReadDoc(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return nil, fmt.Errorf("regress: %s: not a JSON object: %w", path, err)
+	}
+	switch {
+	case probe["schema"] != nil && probe["cells"] != nil:
+		m, err := provenance.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Doc{Kind: "manifest", Manifest: m}, nil
+	case probe["results"] != nil:
+		d, err := benchfmt.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Doc{Kind: "bench", Bench: d}, nil
+	case probe["Checks"] != nil:
+		r, err := shapes.ReadReport(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Doc{Kind: "shapes", Shapes: r}, nil
+	}
+	return nil, fmt.Errorf("regress: %s: unrecognized document (expected a BENCH doc, a shapes report or a run manifest)", path)
+}
+
+// CompareDocs dispatches on the documents' kind, which must match.
+func CompareDocs(old, new *Doc, tol Tolerance) (*Verdict, error) {
+	if old.Kind != new.Kind {
+		return nil, fmt.Errorf("regress: cannot compare a %s document against a %s document", old.Kind, new.Kind)
+	}
+	switch old.Kind {
+	case "bench":
+		return CompareBench(old.Bench, new.Bench, tol)
+	case "shapes":
+		return CompareShapes(old.Shapes, new.Shapes, tol), nil
+	case "manifest":
+		return CompareManifests(old.Manifest, new.Manifest, tol)
+	}
+	return nil, fmt.Errorf("regress: unknown document kind %q", old.Kind)
+}

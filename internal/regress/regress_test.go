@@ -1,0 +1,281 @@
+package regress
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvmstar/internal/benchfmt"
+	"nvmstar/internal/provenance"
+	"nvmstar/internal/shapes"
+)
+
+func benchDoc() *benchfmt.Doc {
+	return &benchfmt.Doc{
+		Env: map[string]string{"goos": "linux", "goarch": "amd64", "go_version": "go1.24.0"},
+		Results: []benchfmt.Result{
+			{Name: "BenchmarkEngineWriteLine/star-8", Runs: 1000, NsPerOp: 824, BytesPerOp: 47, AllocsPerOp: 0},
+			{Name: "BenchmarkRunnerMatrix/parallel=4-8", Runs: 1, NsPerOp: 4e9, BytesPerOp: -1, AllocsPerOp: -1,
+				Metrics: map[string]float64{"speedup-vs-seq": 2.0}},
+		},
+	}
+}
+
+func TestCompareBenchSelfIsClean(t *testing.T) {
+	v, err := CompareBench(benchDoc(), benchDoc(), DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Regressed() {
+		t.Fatalf("self-compare regressed: %s", v.Markdown())
+	}
+	if len(v.Items) == 0 {
+		t.Fatal("self-compare compared nothing")
+	}
+}
+
+func TestCompareBenchFlagsRegression(t *testing.T) {
+	old, new := benchDoc(), benchDoc()
+	new.Results[0].NsPerOp = 824 * 1.5 // +50%, far past the 25% noise floor
+	v, err := CompareBench(old, new, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Regressed() {
+		t.Fatal("50% ns/op slowdown not flagged")
+	}
+	regs := v.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkEngineWriteLine/star-8" || regs[0].Detail != "ns/op" {
+		t.Fatalf("regression not localized to the offending benchmark: %+v", regs)
+	}
+	if !strings.Contains(v.Markdown(), "BenchmarkEngineWriteLine/star-8") {
+		t.Fatal("markdown does not name the offending benchmark")
+	}
+}
+
+func TestCompareBenchSpeedupWithinNoiseIsOK(t *testing.T) {
+	old, new := benchDoc(), benchDoc()
+	new.Results[0].NsPerOp = 824 * 0.9 // 10% faster: inside noise, not "improved"
+	v, err := CompareBench(old, new, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Regressed() || v.Counts()[StatusImproved] != 0 {
+		t.Fatalf("10%% drift should be noise: %s", v.Markdown())
+	}
+}
+
+func TestCompareBenchMetricDriftIsDirectionAgnostic(t *testing.T) {
+	old, new := benchDoc(), benchDoc()
+	new.Results[1].Metrics = map[string]float64{"speedup-vs-seq": 1.0} // halved
+	v, err := CompareBench(old, new, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Regressed() {
+		t.Fatal("halved speedup metric not flagged")
+	}
+}
+
+func TestCompareBenchRefusesEnvMismatch(t *testing.T) {
+	old, new := benchDoc(), benchDoc()
+	new.Env["goarch"] = "arm64"
+	_, err := CompareBench(old, new, DefaultTolerance())
+	var mismatch *EnvMismatchError
+	if !errors.As(err, &mismatch) || mismatch.Key != "goarch" {
+		t.Fatalf("expected goarch EnvMismatchError, got %v", err)
+	}
+}
+
+func TestCompareBenchMissingBenchmarkRegresses(t *testing.T) {
+	old, new := benchDoc(), benchDoc()
+	new.Results = new.Results[:1]
+	v, err := CompareBench(old, new, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Regressed() {
+		t.Fatal("vanished benchmark not flagged")
+	}
+}
+
+func shapeReport() *shapes.Report {
+	return &shapes.Report{Checks: []shapes.Check{
+		{Name: "Fig11: STAR write traffic ~1.08x WB", Pass: true, Detail: "measured 1.083x", Values: []float64{1.083}},
+		{Name: "Fig12: STAR IPC >= 0.95x WB", Pass: true, Detail: "measured 0.981", Values: []float64{0.981}},
+	}}
+}
+
+func TestCompareShapesSelfIsClean(t *testing.T) {
+	if v := CompareShapes(shapeReport(), shapeReport(), DefaultTolerance()); v.Regressed() {
+		t.Fatalf("self-compare regressed: %s", v.Markdown())
+	}
+}
+
+func TestCompareShapesFlagsFlipAndDrift(t *testing.T) {
+	old, new := shapeReport(), shapeReport()
+	new.Checks[0].Pass = false
+	new.Checks[1].Values = []float64{0.90} // ~8% drift, still passing the shape window
+	v := CompareShapes(old, new, DefaultTolerance())
+	if !v.Regressed() {
+		t.Fatal("pass->fail flip not flagged")
+	}
+	var flip, drift bool
+	for _, it := range v.Regressions() {
+		if it.Kind == "check" && it.Name == old.Checks[0].Name {
+			flip = true
+		}
+		if it.Kind == "value" && it.Name == old.Checks[1].Name {
+			drift = true
+		}
+	}
+	if !flip || !drift {
+		t.Fatalf("missing flip/drift findings: %+v", v.Regressions())
+	}
+	d := DriftByName(v)
+	if d[old.Checks[1].Name] == "" || d[old.Checks[1].Name] == "=" {
+		t.Fatalf("drift column empty for drifted check: %v", d)
+	}
+	if d[old.Checks[0].Name] == "" {
+		t.Fatalf("drift column empty for flipped check: %v", d)
+	}
+}
+
+func manifest(digest0 string) *provenance.Manifest {
+	m := &provenance.Manifest{
+		Schema: provenance.SchemaVersion,
+		Env:    provenance.Env{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 8},
+		Config: provenance.RunConfig{Fingerprint: "fp", Ops: 1500, Seeds: 1, BaseSeed: 1,
+			SeedMatrix: []uint64{1}, Workloads: []string{"hash"}, Parallelism: 4},
+		Cells: []provenance.CellRecord{
+			{Sweep: "matrix", Workload: "hash", Scheme: "star", Seed: 0, Digest: digest0},
+			{Sweep: "matrix", Workload: "hash", Scheme: "wb", Seed: 0, Digest: strings.Repeat("bb", 32)},
+		},
+	}
+	m.Seal()
+	return m
+}
+
+func TestCompareManifestsSelfIsClean(t *testing.T) {
+	v, err := CompareManifests(manifest(strings.Repeat("aa", 32)), manifest(strings.Repeat("aa", 32)), DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Regressed() {
+		t.Fatalf("self-compare regressed: %s", v.Markdown())
+	}
+}
+
+func TestCompareManifestsLocalizesDrift(t *testing.T) {
+	old := manifest(strings.Repeat("aa", 32))
+	new := manifest(strings.Repeat("cc", 32))
+	v, err := CompareManifests(old, new, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := v.Regressions()
+	if len(regs) != 1 || regs[0].Name != "matrix/hash/star/seed0" {
+		t.Fatalf("drift not localized to the diverged cell: %+v", regs)
+	}
+}
+
+func TestCompareManifestsSkipsFastPathOnStaleSeal(t *testing.T) {
+	old := manifest(strings.Repeat("aa", 32))
+	new := manifest(strings.Repeat("aa", 32))
+	// Tamper with a cell after sealing: the seals still compare equal,
+	// but the equal-seal fast path must not trust an unverifiable seal.
+	new.Cells[0].Digest = strings.Repeat("cc", 32)
+	v, err := CompareManifests(old, new, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := v.Regressions(); len(regs) != 1 || regs[0].Name != "matrix/hash/star/seed0" {
+		t.Fatalf("stale-seal tampering not caught: %+v", regs)
+	}
+}
+
+func TestCompareManifestsRefusesConfigMismatch(t *testing.T) {
+	old := manifest(strings.Repeat("aa", 32))
+	new := manifest(strings.Repeat("aa", 32))
+	new.Config.Ops = 9999
+	new.Seal()
+	_, err := CompareManifests(old, new, DefaultTolerance())
+	var mismatch *ConfigMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("expected ConfigMismatchError, got %v", err)
+	}
+}
+
+func TestCompareManifestsEnvDiffIsInfo(t *testing.T) {
+	old := manifest(strings.Repeat("aa", 32))
+	new := manifest(strings.Repeat("aa", 32))
+	new.Env.CPU = "Other CPU"
+	new.Env.GitRev = "deadbee"
+	v, err := CompareManifests(old, new, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Regressed() {
+		t.Fatalf("env-only difference must not regress: %s", v.Markdown())
+	}
+	if v.Counts()[StatusInfo] == 0 {
+		t.Fatal("env difference not surfaced as info")
+	}
+}
+
+func TestLoadTolerancePartialKeepsDefaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tol.json")
+	if err := os.WriteFile(path, []byte(`{"ns_per_op_frac": 0.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tol, err := LoadTolerance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultTolerance()
+	if tol.NsPerOpFrac != 0.5 || tol.ValueFrac != def.ValueFrac || len(tol.RequireSameEnv) != len(def.RequireSameEnv) {
+		t.Fatalf("partial tolerance config mishandled: %+v", tol)
+	}
+}
+
+func TestReadDocSniffsKinds(t *testing.T) {
+	dir := t.TempDir()
+
+	mPath := filepath.Join(dir, "manifest.json")
+	if err := manifest(strings.Repeat("aa", 32)).WriteFile(mPath); err != nil {
+		t.Fatal(err)
+	}
+	bPath := filepath.Join(dir, "bench.json")
+	b, _ := benchDoc().Marshal()
+	if err := os.WriteFile(bPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sPath := filepath.Join(dir, "shapes.json")
+	if err := shapeReport().WriteFile(sPath); err != nil {
+		t.Fatal(err)
+	}
+
+	for path, kind := range map[string]string{mPath: "manifest", bPath: "bench", sPath: "shapes"} {
+		doc, err := ReadDoc(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if doc.Kind != kind {
+			t.Fatalf("%s sniffed as %q, want %q", path, doc.Kind, kind)
+		}
+		// Self-compare through the dispatcher must be clean for every kind.
+		v, err := CompareDocs(doc, doc, DefaultTolerance())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Regressed() {
+			t.Fatalf("%s self-compare regressed: %s", kind, v.Markdown())
+		}
+	}
+
+	if _, err := CompareDocs(&Doc{Kind: "bench"}, &Doc{Kind: "shapes"}, DefaultTolerance()); err == nil {
+		t.Fatal("kind mismatch not rejected")
+	}
+}

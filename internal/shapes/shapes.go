@@ -9,20 +9,38 @@ package shapes
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 
 	"nvmstar/internal/experiments"
 )
 
-// Check is one verified relationship.
+// Check is one verified relationship. Values carries the measured
+// numbers behind Detail in order, machine-readable, so the regression
+// comparator (internal/regress, cmd/stardiff) can diff two reports'
+// measurements against a drift tolerance instead of re-parsing the
+// formatted Detail string.
 type Check struct {
 	Name   string
 	Pass   bool
-	Detail string // measured values, for the report
+	Detail string    // measured values, formatted for the report
+	Values []float64 `json:",omitempty"` // the numeric measurements behind Detail
 }
 
 func check(name string, pass bool, format string, args ...any) Check {
-	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+	c := Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+	for _, a := range args {
+		switch v := a.(type) {
+		case float64:
+			c.Values = append(c.Values, v)
+		case int:
+			c.Values = append(c.Values, float64(v))
+		case uint64:
+			c.Values = append(c.Values, float64(v))
+		}
+	}
+	return c
 }
 
 // Report is the full evaluation with its checks.
@@ -32,6 +50,29 @@ type Report struct {
 	Fig14a []experiments.Fig14aRow
 	Fig14b []experiments.Fig14bRow
 	Checks []Check
+}
+
+// WriteFile marshals the report (indented, trailing newline) so it
+// can be committed as a regression baseline and compared by stardiff.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by WriteFile.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("shapes: %s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 // Passed reports whether every check passed.
@@ -206,15 +247,35 @@ func (r *Report) fig14Checks() []Check {
 }
 
 // Markdown renders the report.
-func (r *Report) Markdown() string {
+func (r *Report) Markdown() string { return r.markdown(nil) }
+
+// MarkdownWithDrift renders the report with an extra per-check drift
+// column (keyed by check name) — starreport fills it from a stardiff
+// comparison against a committed baseline report, so the reproduction
+// report and its regression verdict read as one table.
+func (r *Report) MarkdownWithDrift(drift map[string]string) string { return r.markdown(drift) }
+
+func (r *Report) markdown(drift map[string]string) string {
 	out := "# Shape report: paper vs. measured\n\n"
-	out += "| check | result | measured |\n|---|---|---|\n"
+	if drift == nil {
+		out += "| check | result | measured |\n|---|---|---|\n"
+	} else {
+		out += "| check | result | measured | drift vs baseline |\n|---|---|---|---|\n"
+	}
 	for _, c := range r.Checks {
 		status := "PASS"
 		if !c.Pass {
 			status = "**FAIL**"
 		}
-		out += fmt.Sprintf("| %s | %s | %s |\n", c.Name, status, c.Detail)
+		if drift == nil {
+			out += fmt.Sprintf("| %s | %s | %s |\n", c.Name, status, c.Detail)
+			continue
+		}
+		d := drift[c.Name]
+		if d == "" {
+			d = "—"
+		}
+		out += fmt.Sprintf("| %s | %s | %s | %s |\n", c.Name, status, c.Detail, d)
 	}
 	out += "\n## Figs. 11-13 (normalized to WB)\n\n"
 	out += "| workload | scheme | writes/op | W vs WB | IPC vs WB | E vs WB |\n|---|---|---|---|---|---|\n"
