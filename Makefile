@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-parallel report examples vet fmt clean race verify verify-telemetry regress regress-baseline
+.PHONY: all build test test-short bench bench-json bench-parallel bench-parallel-gate report examples vet fmt clean race verify verify-telemetry regress regress-baseline
 
 all: verify
 
@@ -47,14 +47,27 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_hotpath.json
 	@cat BENCH_hotpath.json
 
-# Scaling numbers for the parallel runner with per-worker machine
-# reuse, committed as BENCH_parallel.json: wall time, allocations and
-# the speedup-vs-seq metric at pool widths 1/2/4 (meaningful only on a
-# multi-core machine).
+# Scaling numbers for the parallel runner with seed-level work
+# decomposition, committed as BENCH_parallel.json: wall time,
+# allocations and the speedup-vs-seq metric at pool widths 1/2/4/8
+# (meaningful only on a multi-core machine; the document records its
+# CPU count so the gate below can tell the difference).
+BENCH_PARALLEL_OUT ?= BENCH_parallel.json
+
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkRunnerMatrix -benchmem . \
-		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
-	@cat BENCH_parallel.json
+		| $(GO) run ./cmd/benchjson -o $(BENCH_PARALLEL_OUT)
+	@cat $(BENCH_PARALLEL_OUT)
+
+# Parallel-scaling gate: re-measure, then let stardiff enforce the
+# metric_floors in regress.tolerance.json (speedup-vs-seq >= 2.0 at
+# parallel=4). The self-compare makes the floor absolute — it binds on
+# the fresh numbers even with no drift vs a baseline. On machines with
+# fewer than floor_min_cpus CPUs the floor is skipped with an info
+# line, because compute-bound speedup is physically impossible there.
+bench-parallel-gate: bench-parallel
+	$(GO) run ./cmd/stardiff -tol regress.tolerance.json -q \
+		$(BENCH_PARALLEL_OUT) $(BENCH_PARALLEL_OUT)
 
 # Regenerate the evaluation tables (Figs. 10-14, Table II).
 evaluation:

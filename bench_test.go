@@ -339,14 +339,15 @@ var runnerSeqNs float64
 // BenchmarkRunnerMatrix measures the wall-clock of a full
 // four-scheme x three-workload sweep through the parallel experiment
 // runner at several pool widths, reporting each width's speedup over
-// the sequential run of the same process via `speedup-vs-seq`. On a
-// multi-core machine the per-cell independence and per-worker machine
-// reuse make the sweep scale close to linearly until the pool exceeds
-// the matrix or the cores (the acceptance target is >= 2x with 4
-// workers on 4+ cores); per-cell results are bit-identical at every
-// width.
+// the sequential run of the same process via `speedup-vs-seq`. Units
+// are seed-level and dispatched longest-expected-first, so on a
+// multi-core machine the sweep scales close to linearly until the
+// pool exceeds the units or the cores (the stardiff gate requires
+// >= 2x at parallel=4 on 4+ CPUs; single-core machines record cpus=1
+// and are exempt — compute-bound speedup is physically impossible
+// there); per-cell results are bit-identical at every width.
 func BenchmarkRunnerMatrix(b *testing.B) {
-	for _, par := range []int{1, 2, 4} {
+	for _, par := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
 			r := experiments.NewRunner(
 				experiments.WithOps(benchOps),

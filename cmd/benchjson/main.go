@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 
 	"nvmstar/internal/benchfmt"
 	"nvmstar/internal/provenance"
@@ -61,6 +62,9 @@ func main() {
 		fatal(fmt.Errorf("no benchmark result lines found in input"))
 	}
 	doc.SetEnv("go_version", runtime.Version())
+	// CPU count gates parallel-speedup floors in stardiff: a document
+	// from a 1-core machine records the fact and is exempted.
+	doc.SetEnv("cpus", strconv.Itoa(runtime.NumCPU()))
 	rev := *gitRev
 	if rev == "" {
 		rev = provenance.GitRevision(".")

@@ -27,6 +27,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"nvmstar/internal/experiments"
 	"nvmstar/internal/provenance"
@@ -221,6 +222,16 @@ func printFinalStats(prog string, r *experiments.Runner) {
 	s := r.Snapshot()
 	fmt.Fprintf(os.Stderr, "%s: done: %d/%d cells in %.1fs (%d machines built, %d reused, %.1f cells/s)\n",
 		prog, s.CellsDone, s.CellsTotal, r.WallTime().Seconds(), s.MachinesBuilt, s.MachinesReused, s.CellsPerSec)
+	for _, w := range s.Workers {
+		busy := time.Duration(w.BusyNs).Seconds()
+		idle := time.Duration(w.IdleNs).Seconds()
+		util := 0.0
+		if busy+idle > 0 {
+			util = 100 * busy / (busy + idle)
+		}
+		fmt.Fprintf(os.Stderr, "%s:   worker %d: %d units, %.1fs busy, %.1fs idle (%.0f%% utilized)\n",
+			prog, w.Worker, w.Units, busy, idle, util)
+	}
 }
 
 // writeManifest seals and writes the run's provenance manifest.

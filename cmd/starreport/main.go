@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"nvmstar/internal/experiments"
 	"nvmstar/internal/provenance"
@@ -110,6 +111,16 @@ func run() int {
 		s := r.Snapshot()
 		fmt.Fprintf(os.Stderr, "starreport: done: %d/%d cells in %.1fs (%d machines built, %d reused, %.1f cells/s)\n",
 			s.CellsDone, s.CellsTotal, r.WallTime().Seconds(), s.MachinesBuilt, s.MachinesReused, s.CellsPerSec)
+		for _, w := range s.Workers {
+			busy := time.Duration(w.BusyNs).Seconds()
+			idle := time.Duration(w.IdleNs).Seconds()
+			util := 0.0
+			if busy+idle > 0 {
+				util = 100 * busy / (busy + idle)
+			}
+			fmt.Fprintf(os.Stderr, "starreport:   worker %d: %d units, %.1fs busy, %.1fs idle (%.0f%% utilized)\n",
+				w.Worker, w.Units, busy, idle, util)
+		}
 	}
 
 	// Persist artifacts before gating, so a failing run still leaves

@@ -1,57 +1,21 @@
 // Package experiments regenerates every table and figure of the
 // paper's evaluation (Section IV): the Runner fans the relevant
-// workload × scheme × seed matrix out over a bounded worker pool (each
-// cell on its own sim.Machine, so results are bit-identical to a
-// sequential sweep) and returns the rows the paper plots. The
-// benchmark harness (bench_test.go) and the starbench CLI are thin
-// wrappers around the Runner's sweep methods; the package-level
-// functions taking an Options value are the deprecated sequential-era
-// entry points, kept as shims over the Runner.
+// workload × scheme × seed matrix out over a bounded worker pool at
+// seed-unit grain (each run on its own sim.Machine, so results are
+// bit-identical to a sequential sweep) and returns the rows the paper
+// plots. Build a Runner with NewRunner(WithOps(...), WithSeeds(...),
+// WithWorkloads(...), WithConfig(...), WithParallelism(...)) and call
+// its context-aware sweep methods; the benchmark harness
+// (bench_test.go) and the starbench CLI are thin wrappers around them.
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"strings"
 
-	"nvmstar/internal/sim"
 	"nvmstar/internal/workload"
 )
-
-// Options scales the experiment runs.
-//
-// Deprecated: Options is the legacy method-bag configuration. New code
-// should build a Runner with NewRunner(WithOps(...), WithSeeds(...),
-// WithWorkloads(...), WithConfig(...), WithParallelism(...)) and call
-// its context-aware sweep methods; the package-level functions below
-// remain as mechanical shims.
-type Options struct {
-	// Ops is the number of measured operations per workload run.
-	Ops int
-	// Config returns a fresh machine configuration; nil uses
-	// sim.Default scaled by Scale.
-	Config func() sim.Config
-	// Workloads restricts the workload set; nil runs all seven.
-	Workloads []string
-	// Seeds averages every cell over this many PRNG seeds (default 1).
-	// The simulator is deterministic per seed; multiple seeds estimate
-	// workload-randomness sensitivity.
-	Seeds int
-}
-
-// DefaultOptions returns a configuration sized so the full evaluation
-// completes in minutes on a laptop.
-//
-// Deprecated: use NewRunner(), whose zero-option form is equivalent.
-func DefaultOptions() Options {
-	return Options{Ops: 20000}
-}
-
-// runner bridges the legacy Options shims onto the Runner API. The
-// pool width stays at the default (GOMAXPROCS); per-cell results are
-// bit-identical to the historical sequential execution.
-func (o Options) runner() *Runner { return NewRunner(WithOptions(o)) }
 
 // --- Fig. 10: bitmap-line writes vs WB writes ---------------------------
 
@@ -62,15 +26,6 @@ type Fig10Row struct {
 	BitmapWrites uint64  // bitmap lines spilled to the RA under STAR
 	BitmapReads  uint64  // bitmap lines filled from the RA under STAR
 	Ratio        float64 // WBWrites / max(BitmapWrites,1), per op-normalized
-}
-
-// Fig10 measures how rarely STAR's bitmap lines reach NVM compared
-// with the baseline's ordinary writes (the paper reports WB issuing
-// 461x more writes than bitmap-line writes on average).
-//
-// Deprecated: use NewRunner(WithOptions(o)).Fig10(ctx).
-func Fig10(o Options) ([]Fig10Row, error) {
-	return o.runner().Fig10(context.Background())
 }
 
 // --- Fig. 11-13: write traffic, IPC, energy per scheme -------------------
@@ -89,14 +44,6 @@ type SchemeRow struct {
 	EnergyRatio float64 // Fig. 13: energy normalized to WB
 }
 
-// SchemeComparison runs the workload x scheme matrix behind
-// Figs. 11, 12 and 13.
-//
-// Deprecated: use NewRunner(WithOptions(o)).SchemeComparison(ctx, schemes).
-func SchemeComparison(o Options, schemes []string) ([]SchemeRow, error) {
-	return o.runner().SchemeComparison(context.Background(), schemes)
-}
-
 // --- Table II: ADR bitmap-line hit ratio ---------------------------------
 
 // Table2Row is one column of Table II.
@@ -106,29 +53,12 @@ type Table2Row struct {
 	PerWorkload map[string]float64
 }
 
-// Table2 sweeps the number of bitmap lines held in ADR (2, 4, 8, 16,
-// 32) and reports the average hit ratio, as in Table II.
-//
-// Deprecated: use NewRunner(WithOptions(o)).Table2(ctx, lineCounts).
-func Table2(o Options, lineCounts []int) ([]Table2Row, error) {
-	return o.runner().Table2(context.Background(), lineCounts)
-}
-
 // --- Fig. 14a: dirty metadata fraction -----------------------------------
 
 // Fig14aRow is one workload's dirty-cache fraction at crash time.
 type Fig14aRow struct {
 	Workload  string
 	DirtyFrac float64
-}
-
-// Fig14a measures the fraction of the metadata cache that is dirty at
-// the end of a run — the stale metadata a crash would leave behind
-// (the paper reports ~78% on average).
-//
-// Deprecated: use NewRunner(WithOptions(o)).Fig14a(ctx).
-func Fig14a(o Options) ([]Fig14aRow, error) {
-	return o.runner().Fig14a(context.Background())
 }
 
 // --- Fig. 14b: recovery time vs metadata cache size ----------------------
@@ -141,16 +71,6 @@ type Fig14bRow struct {
 	AnubisSeconds  float64
 }
 
-// Fig14b sweeps the metadata cache size and measures modeled recovery
-// time (100 ns per line access) for STAR and Anubis after a crash at
-// the end of a hash run (the paper's Fig. 14b shape: both linear in
-// cache size, STAR ~2.5x Anubis, both well under a second).
-//
-// Deprecated: use NewRunner(WithOptions(o)).Fig14b(ctx, cacheSizes).
-func Fig14b(o Options, cacheSizes []int) ([]Fig14bRow, error) {
-	return o.runner().Fig14b(context.Background(), cacheSizes)
-}
-
 // --- ablations ------------------------------------------------------------
 
 // AblationIndexRow compares recovery scans with and without the
@@ -161,14 +81,6 @@ type AblationIndexRow struct {
 	FlatReads    uint64
 	IndexedSecs  float64
 	FlatSecs     float64
-}
-
-// AblationIndex quantifies the multi-layer index (Section III-D): the
-// same recovery with a flat scan of every L1 bitmap line in the RA.
-//
-// Deprecated: use NewRunner(WithOptions(o)).AblationIndex(ctx).
-func AblationIndex(o Options) ([]AblationIndexRow, error) {
-	return o.runner().AblationIndex(context.Background())
 }
 
 // --- formatting ------------------------------------------------------------

@@ -1,33 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"testing"
-
-	"nvmstar/internal/cache"
-	"nvmstar/internal/sim"
 )
 
-// fastOpts shrinks everything so the whole experiment matrix runs in
-// test time; the assertions are qualitative (the paper's orderings).
-func fastOpts() Options {
-	return Options{
-		Ops:       1200,
-		Workloads: []string{"array", "queue"},
-		Config: func() sim.Config {
-			cfg := sim.Default()
-			cfg.Cores = 4
-			cfg.DataBytes = 16 << 20
-			cfg.L1 = cache.Config{SizeBytes: 8 << 10, Ways: 2}
-			cfg.L2 = cache.Config{SizeBytes: 32 << 10, Ways: 8}
-			cfg.L3 = cache.Config{SizeBytes: 128 << 10, Ways: 8}
-			cfg.MetaCache = cache.Config{SizeBytes: 64 << 10, Ways: 8}
-			return cfg
-		},
-	}
-}
+// The figure tests run on fastRunner (runner_test.go), which shrinks
+// everything so the whole experiment matrix runs in test time; the
+// assertions are qualitative (the paper's orderings).
 
 func TestFig10(t *testing.T) {
-	rows, err := Fig10(fastOpts())
+	rows, err := fastRunner(2).Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +28,7 @@ func TestFig10(t *testing.T) {
 }
 
 func TestSchemeComparisonOrdering(t *testing.T) {
-	rows, err := SchemeComparison(fastOpts(), nil)
+	rows, err := fastRunner(2).SchemeComparison(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +60,7 @@ func TestSchemeComparisonOrdering(t *testing.T) {
 }
 
 func TestTable2Monotonic(t *testing.T) {
-	rows, err := Table2(fastOpts(), []int{2, 8, 32})
+	rows, err := fastRunner(2).Table2(context.Background(), []int{2, 8, 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +73,7 @@ func TestTable2Monotonic(t *testing.T) {
 }
 
 func TestFig14a(t *testing.T) {
-	rows, err := Fig14a(fastOpts())
+	rows, err := fastRunner(2).Fig14a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +85,7 @@ func TestFig14a(t *testing.T) {
 }
 
 func TestFig14b(t *testing.T) {
-	o := fastOpts()
-	rows, err := Fig14b(o, []int{32 << 10, 128 << 10})
+	rows, err := fastRunner(2).Fig14b(context.Background(), []int{32 << 10, 128 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,9 +104,7 @@ func TestFig14b(t *testing.T) {
 }
 
 func TestAblationIndex(t *testing.T) {
-	o := fastOpts()
-	o.Workloads = []string{"queue"}
-	rows, err := AblationIndex(o)
+	rows, err := fastRunner(2, WithWorkloads("queue")).AblationIndex(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

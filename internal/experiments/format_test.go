@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -38,29 +39,26 @@ func TestSortSchemeRows(t *testing.T) {
 }
 
 func TestSeedAveraging(t *testing.T) {
-	o := fastOpts()
-	o.Workloads = []string{"queue"}
-	o.Seeds = 2
-	rows, err := SchemeComparison(o, []string{"wb", "star"})
+	r := fastRunner(2, WithWorkloads("queue"), WithSeeds(2))
+	rows, err := r.SchemeComparison(context.Background(), []string{"wb", "star"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
-	for _, r := range rows {
-		if r.WritesPerOp <= 0 || r.IPC <= 0 {
-			t.Fatalf("averaged row has zero metrics: %+v", r)
+	for _, row := range rows {
+		if row.WritesPerOp <= 0 || row.IPC <= 0 {
+			t.Fatalf("averaged row has zero metrics: %+v", row)
 		}
 	}
 }
 
-func TestDefaultOptions(t *testing.T) {
-	o := DefaultOptions()
-	if o.Ops <= 0 {
+func TestRunnerDefaults(t *testing.T) {
+	r := NewRunner()
+	if r.ops <= 0 {
 		t.Fatal("default ops not positive")
 	}
-	r := o.runner()
 	if got := r.workloadList(); len(got) != 7 {
 		t.Fatalf("default workloads = %v", got)
 	}

@@ -19,15 +19,18 @@ import (
 )
 
 // Runner executes the evaluation's (workload, scheme, seed) cell
-// matrix over a bounded worker pool. The cells of the paper's sweeps
-// are fully independent deterministic simulator runs, so the matrix
-// parallelizes perfectly: every worker keeps a private pool of
-// machines (one per distinct configuration, Reset between cells),
-// preserving the simulator's single-goroutine invariant per cell, and
-// every result lands in a slot fixed by its cell index — output is
-// bit-identical to a sequential fresh-machine sweep regardless of
-// scheduling, because Machine.Reset(seed) is equivalent to building a
-// new machine with that seed.
+// matrix over a bounded worker pool. The schedulable grain is one
+// simulator run (a workUnit — for seed-averaged sweeps that is one
+// cell × seed, not the whole cell), dispatched longest-expected-first
+// so a heavy strict-scheme cell cannot strand the sweep's tail on one
+// worker. Every worker keeps a private pool of machines (one per
+// distinct configuration, Reset between units), preserving the
+// simulator's single-goroutine invariant per run, and every result
+// lands in a slot fixed by its unit index with seed merges folding
+// slots in ascending seed order — output is bit-identical to a
+// sequential fresh-machine sweep regardless of pool width or dispatch
+// order, because Machine.Reset(seed) is equivalent to building a new
+// machine with that seed.
 type Runner struct {
 	ops       int
 	seeds     int
@@ -38,6 +41,11 @@ type Runner struct {
 	trace     *telemetry.Trace
 	collector *provenance.Collector
 
+	// costs prices units for longest-expected-first dispatch; it
+	// persists across this runner's sweeps so observed wall times from
+	// one sweep refine the next one's schedule.
+	costs *costModel
+
 	// Live sweep introspection, cumulative across this runner's sweeps
 	// and read lock-free by Snapshot (expvar handlers poll it from
 	// other goroutines while a sweep runs).
@@ -45,22 +53,30 @@ type Runner struct {
 	cellsTotal     atomic.Int64
 	machinesBuilt  atomic.Int64
 	machinesReused atomic.Int64
-	sweepDone      atomic.Int64 // cells completed in the active sweep
+	sweepDone      atomic.Int64 // units completed in the active sweep
 	sweepStart     atomic.Int64 // UnixNano of the active sweep's start
 	sweepEnd       atomic.Int64 // UnixNano of the active sweep's completion (0 while running)
 	wallNs         atomic.Int64 // total sweep wall time across this runner's sweeps
+
+	// Per-worker busy/idle accounting (index = worker lane), cumulative
+	// across sweeps; Snapshot exposes it so pool imbalance is visible
+	// in starbench -http.
+	workerBusyNs []atomic.Int64
+	workerIdleNs []atomic.Int64
+	workerUnits  []atomic.Int64
 }
 
 // Option configures a Runner (functional options).
 type Option func(*Runner)
 
 // WithOps sets the number of measured operations per workload run
-// (default 20000, matching DefaultOptions).
+// (default 20000).
 func WithOps(n int) Option { return func(r *Runner) { r.ops = n } }
 
 // WithSeeds averages every seed-averaged cell over n PRNG seeds
 // (default 1). The simulator is deterministic per seed; multiple seeds
-// estimate workload-randomness sensitivity.
+// estimate workload-randomness sensitivity. Each seed is its own
+// schedulable unit, so seed-averaged sweeps parallelize at seed grain.
 func WithSeeds(n int) Option { return func(r *Runner) { r.seeds = n } }
 
 // WithWorkloads restricts the workload set; with no names, all seven
@@ -80,23 +96,24 @@ func WithWorkloads(names ...string) Option {
 // enough).
 func WithConfig(fn func() sim.Config) Option { return func(r *Runner) { r.config = fn } }
 
-// WithParallelism bounds the worker pool to n concurrent cells;
-// n <= 0 means runtime.GOMAXPROCS(0). WithParallelism(1) reproduces
-// the historical sequential execution order exactly.
+// WithParallelism bounds the worker pool to n concurrent units;
+// n <= 0 means runtime.GOMAXPROCS(0). Results and provenance digests
+// are identical at every width — WithParallelism(1) runs one unit at
+// a time (in cost-ranked dispatch order, not submission order), it
+// does not change any value.
 func WithParallelism(n int) Option { return func(r *Runner) { r.parallel = n } }
 
 // WithProgress registers a callback invoked after every completed
-// cell, in completion order, with live done/total, per-cell wall time
-// and an ETA. The callback runs with the pool's bookkeeping lock held,
-// so completions are reported in a consistent, monotonic order; keep
-// it short (printing a line is the intended use).
+// unit. Callbacks run on a dedicated reporter goroutine, strictly
+// ordered by completion number (Done is contiguous 1..Total), so a
+// slow callback delays reporting but never blocks pool workers.
 func WithProgress(fn func(Progress)) Option { return func(r *Runner) { r.progress = fn } }
 
 // WithTrace attaches a Chrome trace-event buffer to the runner: every
-// completed cell becomes one complete ("X") event on the lane of the
+// completed unit becomes one complete ("X") event on the lane of the
 // worker that ran it, timestamped with wall-clock time relative to the
-// sweep's start. Events are appended under the pool's bookkeeping
-// lock, so the single trace buffer is safe across workers.
+// sweep's start. Events are appended by the reporter goroutine, off
+// the workers' critical path.
 func WithTrace(tr *telemetry.Trace) Option { return func(r *Runner) { r.trace = tr } }
 
 // WithCollector attaches a provenance collector: every completed cell
@@ -105,30 +122,12 @@ func WithTrace(tr *telemetry.Trace) Option { return func(r *Runner) { r.trace = 
 // cells), and BuildManifest assembles the run manifest from it after
 // the sweeps finish. Recording is concurrency-safe and ordered
 // deterministically, so manifests are independent of pool width and
-// scheduling.
+// scheduling. Seed-averaged sweeps record the merged (averaged) cell,
+// exactly as the sequential path did.
 func WithCollector(c *provenance.Collector) Option { return func(r *Runner) { r.collector = c } }
 
-// WithOptions imports a legacy Options value — the bridge the
-// deprecated package-level entry points use.
-func WithOptions(o Options) Option {
-	return func(r *Runner) {
-		if o.Ops != 0 {
-			r.ops = o.Ops
-		}
-		if o.Seeds != 0 {
-			r.seeds = o.Seeds
-		}
-		if len(o.Workloads) > 0 {
-			r.workloads = o.Workloads
-		}
-		if o.Config != nil {
-			r.config = o.Config
-		}
-	}
-}
-
-// NewRunner builds a Runner; the zero-option form matches
-// DefaultOptions with a GOMAXPROCS-wide worker pool.
+// NewRunner builds a Runner; the zero-option form uses the evaluation
+// defaults with a GOMAXPROCS-wide worker pool.
 func NewRunner(opts ...Option) *Runner {
 	r := &Runner{ops: 20000, seeds: 1}
 	for _, opt := range opts {
@@ -143,6 +142,10 @@ func NewRunner(opts ...Option) *Runner {
 	if r.parallel <= 0 {
 		r.parallel = runtime.GOMAXPROCS(0)
 	}
+	r.costs = newCostModel()
+	r.workerBusyNs = make([]atomic.Int64, r.parallel)
+	r.workerIdleNs = make([]atomic.Int64, r.parallel)
+	r.workerUnits = make([]atomic.Int64, r.parallel)
 	return r
 }
 
@@ -170,17 +173,25 @@ type CellResult struct {
 	Wall    time.Duration // wall-clock time this cell took
 }
 
-// Progress reports one completed cell of a sweep.
+// Progress reports one completed unit of a sweep.
 type Progress struct {
-	Done  int  // cells completed so far, including this one
-	Total int  // cells in the sweep
-	Cell  Cell // the cell that just completed
+	Done  int  // units completed so far, including this one
+	Total int  // units in the sweep
+	Cell  Cell // the unit that just completed
 	Err   error
 
-	CellWall    time.Duration // wall time of this cell
-	Elapsed     time.Duration // wall time since the sweep started
+	CellWall    time.Duration // wall time of this unit
+	Elapsed     time.Duration // wall time from sweep start to this unit's completion
 	ETA         time.Duration // estimated time to sweep completion (0 when done)
-	CellsPerSec float64       // completed cells per wall-clock second so far
+	CellsPerSec float64       // completed units per wall-clock second so far
+}
+
+// WorkerStat is one pool lane's cumulative busy/idle accounting.
+type WorkerStat struct {
+	Worker int   `json:"worker"`
+	Units  int64 `json:"units"`
+	BusyNs int64 `json:"busy_ns"`
+	IdleNs int64 `json:"idle_ns"`
 }
 
 // Stats is a point-in-time snapshot of a Runner's live counters,
@@ -188,11 +199,12 @@ type Progress struct {
 // a sweep runs; the -http expvar endpoints of starbench and starreport
 // publish it.
 type Stats struct {
-	CellsDone      int64   // cells completed (all sweeps on this runner)
-	CellsTotal     int64   // cells enqueued
-	MachinesBuilt  int64   // simulator machines constructed from scratch
-	MachinesReused int64   // cells served by Reset-ing a pooled machine
-	CellsPerSec    float64 // completion rate of the active/last sweep
+	CellsDone      int64        // units completed (all sweeps on this runner)
+	CellsTotal     int64        // units enqueued
+	MachinesBuilt  int64        // simulator machines constructed from scratch
+	MachinesReused int64        // units served by Reset-ing a pooled machine
+	CellsPerSec    float64      // completion rate of the active/last sweep
+	Workers        []WorkerStat // per-lane busy/idle accounting (empty before any sweep)
 }
 
 // Snapshot returns the runner's live counters. While a sweep runs,
@@ -219,6 +231,16 @@ func (r *Runner) Snapshot() Stats {
 			}
 		}
 	}
+	for w := range r.workerUnits {
+		if n := r.workerUnits[w].Load(); n > 0 {
+			s.Workers = append(s.Workers, WorkerStat{
+				Worker: w,
+				Units:  n,
+				BusyNs: r.workerBusyNs[w].Load(),
+				IdleNs: r.workerIdleNs[w].Load(),
+			})
+		}
+	}
 	return s
 }
 
@@ -228,12 +250,13 @@ func (r *Runner) WallTime() time.Duration { return time.Duration(r.wallNs.Load()
 
 // record digests one completed cell into the attached collector (a
 // no-op without one). v is the cell's result value; it must be nil
-// when err is non-nil.
-func (r *Runner) record(sweep string, c Cell, start time.Time, v any, err error) {
+// when err is non-nil. wall is the cell's total compute time (for
+// seed-merged cells, the sum of its units' wall times).
+func (r *Runner) record(sweep string, c Cell, wall time.Duration, v any, err error) {
 	if r.collector == nil {
 		return
 	}
-	r.collector.Record(sweep, c.Workload, c.Scheme, c.Seed, c.Label, time.Since(start), v, err)
+	r.collector.Record(sweep, c.Workload, c.Scheme, c.Seed, c.Label, wall, v, err)
 }
 
 // BuildManifest assembles the provenance manifest of everything the
@@ -315,15 +338,16 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
 		start := time.Now()
 		res, runErr := r.runSeed(ctx, mp, cells[i])
-		out[i] = CellResult{Cell: cells[i], Results: res, Err: runErr, Wall: time.Since(start)}
+		wall := time.Since(start)
+		out[i] = CellResult{Cell: cells[i], Results: res, Err: runErr, Wall: wall}
 		if runErr != nil {
-			r.record("matrix", cells[i], start, nil, runErr)
+			r.record("matrix", cells[i], wall, nil, runErr)
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
 			return nil
 		}
-		r.record("matrix", cells[i], start, res, nil)
+		r.record("matrix", cells[i], wall, res, nil)
 		return nil
 	})
 	return out, err
@@ -363,12 +387,13 @@ func (r *Runner) Stream(ctx context.Context, cells []Cell) <-chan CellResult {
 		r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
 			start := time.Now()
 			res, runErr := r.runSeed(ctx, mp, cells[i])
+			wall := time.Since(start)
 			if runErr != nil {
-				r.record("matrix", cells[i], start, nil, runErr)
+				r.record("matrix", cells[i], wall, nil, runErr)
 			} else {
-				r.record("matrix", cells[i], start, res, nil)
+				r.record("matrix", cells[i], wall, res, nil)
 			}
-			cr := CellResult{Cell: cells[i], Results: res, Err: runErr, Wall: time.Since(start)}
+			cr := CellResult{Cell: cells[i], Results: res, Err: runErr, Wall: wall}
 			select {
 			case ch <- cr:
 			case <-ctx.Done():
@@ -437,42 +462,90 @@ func (p *machinePool) machine(cfg sim.Config) (*sim.Machine, error) {
 	return m, nil
 }
 
-// forEach runs job(i) for every cell over at most r.parallel workers,
-// handing each worker its own machinePool. cells is used only to label
-// progress reports; each job owns slot i of whatever output it writes,
-// which keeps assembled output deterministic. The first non-nil job
-// error cancels the remaining cells and is returned; otherwise the
-// (possibly canceled) context's error is.
-func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx context.Context, mp *machinePool, i int) error) error {
-	if len(cells) == 0 {
+// completion is one finished unit on its way to the reporter.
+type completion struct {
+	unit   workUnit
+	err    error
+	done   int           // completion number, 1-based
+	worker int           // pool lane that ran the unit
+	start  time.Duration // offset of the unit's start from the sweep's start
+	wall   time.Duration
+}
+
+// dispatch runs job over every unit on at most r.parallel workers,
+// handing each worker its own machinePool. Units are handed out
+// longest-expected-first via the runner's cost model; each job owns
+// its unit's output slot, which keeps assembled output deterministic
+// regardless of dispatch order. Progress callbacks and trace events
+// are emitted by a dedicated reporter goroutine in completion-number
+// order, so workers never serialize on user callbacks. The first
+// non-nil job error cancels the remaining units and is returned;
+// otherwise the (possibly canceled) context's error is.
+func (r *Runner) dispatch(parent context.Context, units []workUnit, job func(ctx context.Context, mp *machinePool, u workUnit) error) error {
+	if parent == nil {
+		parent = context.Background()
+	}
+	if len(units) == 0 {
 		return parent.Err()
 	}
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
 	workers := r.parallel
-	if workers > len(cells) {
-		workers = len(cells)
+	if workers > len(units) {
+		workers = len(units)
 	}
 
-	var (
-		mu       sync.Mutex
-		firstErr error
-		done     int
-		start    = time.Now()
-	)
-	r.cellsTotal.Add(int64(len(cells)))
+	start := time.Now()
+	r.cellsTotal.Add(int64(len(units)))
 	r.sweepDone.Store(0)
 	r.sweepEnd.Store(0)
 	r.sweepStart.Store(start.UnixNano())
-	idx := make(chan int)
+
+	keys := make([]string, len(units))
+	static := make([]float64, len(units))
+	for i, u := range units {
+		keys[i] = costKey(u.cell)
+		static[i] = r.staticCost(u.cell)
+	}
+	d := newDispatcher(len(units), func(i int) float64 {
+		return r.costs.estimate(keys[i], static[i])
+	})
+
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+
+	// Workers never block on reporting: the channel holds every
+	// possible completion, and the reporter reorders out-of-order
+	// arrivals by completion number so Done is contiguous.
+	var doneCount atomic.Int64
+	events := make(chan completion, len(units))
+	var reporter sync.WaitGroup
+	reporter.Add(1)
 	go func() {
-		defer close(idx)
-		for i := range cells {
-			select {
-			case idx <- i:
-			case <-ctx.Done():
-				return
+		defer reporter.Done()
+		pending := make(map[int]completion, workers)
+		next := 1
+		for ev := range events {
+			pending[ev.done] = ev
+			for {
+				e, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				r.report(e, len(units))
+				next++
 			}
 		}
 	}()
@@ -483,55 +556,89 @@ func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx cont
 		go func(worker int) {
 			defer wg.Done()
 			mp := &machinePool{built: &r.machinesBuilt, reused: &r.machinesReused}
-			for i := range idx {
-				cellStart := time.Now()
-				err := job(ctx, mp, i)
-
-				mu.Lock()
-				done++
+			idleSince := time.Now()
+			for ctx.Err() == nil {
+				i, ok := d.next()
+				if !ok {
+					break
+				}
+				unitStart := time.Now()
+				r.workerIdleNs[worker].Add(unitStart.Sub(idleSince).Nanoseconds())
+				err := job(ctx, mp, units[i])
+				wall := time.Since(unitStart)
+				idleSince = time.Now()
+				r.workerBusyNs[worker].Add(wall.Nanoseconds())
+				r.workerUnits[worker].Add(1)
+				r.costs.observe(keys[i], static[i], wall)
 				r.cellsDone.Add(1)
 				r.sweepDone.Add(1)
-				if err != nil && firstErr == nil {
-					firstErr = err
-					cancel()
+				if err != nil {
+					fail(err)
 				}
-				if r.trace != nil {
-					c := cells[i]
-					name := c.Workload + "/" + c.Scheme
-					if c.Label != "" {
-						name += " " + c.Label
-					}
-					r.trace.CompleteAt(name, "sweep",
-						float64(cellStart.Sub(start).Nanoseconds()),
-						float64(time.Since(cellStart).Nanoseconds()), worker)
+				events <- completion{
+					unit: units[i], err: err, done: int(doneCount.Add(1)),
+					worker: worker, start: unitStart.Sub(start), wall: wall,
 				}
-				if r.progress != nil {
-					p := Progress{
-						Done: done, Total: len(cells), Cell: cells[i], Err: err,
-						CellWall: time.Since(cellStart), Elapsed: time.Since(start),
-					}
-					if done < len(cells) {
-						p.ETA = time.Duration(float64(p.Elapsed) / float64(done) * float64(len(cells)-done))
-					}
-					if secs := p.Elapsed.Seconds(); secs > 0 {
-						p.CellsPerSec = float64(done) / secs
-					}
-					r.progress(p)
-				}
-				mu.Unlock()
 			}
+			r.workerIdleNs[worker].Add(time.Since(idleSince).Nanoseconds())
 		}(w)
 	}
 	wg.Wait()
+	close(events)
+	reporter.Wait()
 	// Freeze the sweep clock so Snapshot's CellsPerSec stops decaying
 	// once the sweep is over, and fold this sweep into the runner's
 	// total wall time.
 	r.sweepEnd.Store(time.Now().UnixNano())
 	r.wallNs.Add(time.Since(start).Nanoseconds())
+	errMu.Lock()
+	defer errMu.Unlock()
 	if firstErr != nil {
 		return firstErr
 	}
 	return parent.Err()
+}
+
+// report emits one completion's trace event and progress callback.
+// Runs only on the reporter goroutine, in completion-number order.
+func (r *Runner) report(ev completion, total int) {
+	if r.trace != nil {
+		c := ev.unit.cell
+		name := c.Workload + "/" + c.Scheme
+		if c.Label != "" {
+			name += " " + c.Label
+		}
+		r.trace.CompleteAt(name, "sweep",
+			float64(ev.start.Nanoseconds()), float64(ev.wall.Nanoseconds()), ev.worker)
+	}
+	if r.progress != nil {
+		p := Progress{
+			Done: ev.done, Total: total, Cell: ev.unit.cell, Err: ev.err,
+			CellWall: ev.wall, Elapsed: ev.start + ev.wall,
+		}
+		if ev.done < total {
+			p.ETA = time.Duration(float64(p.Elapsed) / float64(ev.done) * float64(total-ev.done))
+		}
+		if secs := p.Elapsed.Seconds(); secs > 0 {
+			p.CellsPerSec = float64(ev.done) / secs
+		}
+		r.progress(p)
+	}
+}
+
+// forEach runs job(i) over the pool with one unit per cell (slot i).
+// Sweeps whose cells are single simulator runs use it directly;
+// seed-averaged sweeps go through runCellsAveraged, which expands
+// cells into per-seed units first so the schedulable grain stays one
+// run.
+func (r *Runner) forEach(parent context.Context, cells []Cell, job func(ctx context.Context, mp *machinePool, i int) error) error {
+	units := make([]workUnit, len(cells))
+	for i, c := range cells {
+		units[i] = workUnit{cell: c, slot: i}
+	}
+	return r.dispatch(parent, units, func(ctx context.Context, mp *machinePool, u workUnit) error {
+		return job(ctx, mp, u.slot)
+	})
 }
 
 // --- cell execution ------------------------------------------------------
@@ -595,87 +702,80 @@ func (r *Runner) crashRun(ctx context.Context, mp *machinePool, cfg sim.Config, 
 	return m, nil
 }
 
-// runAveraged executes one (workload, scheme) cell, averaging its
-// counters over the runner's seed count exactly as the legacy
-// sequential path did (seed loop inside the cell, identical
-// accumulation order), so seed-averaged values stay bit-identical.
-func (r *Runner) runAveraged(ctx context.Context, mp *machinePool, name, scheme string) (*sim.Results, error) {
-	var acc *sim.Results
-	for s := 0; s < r.seeds; s++ {
-		cfg := r.cfg()
-		cfg.Scheme = scheme
-		cfg.Seed += uint64(s) * 7919
-		m, err := mp.machine(cfg)
-		if err != nil {
-			return nil, err
+// runCellsAveraged executes seed-averaged cells at seed-unit grain:
+// every (cell, seed) pair is one schedulable unit with its own output
+// slot, and after the dispatch the per-seed slots of each cell are
+// folded in ascending seed order via Results.Accumulate/DivideBy —
+// exactly the legacy sequential seed loop's accumulation, so averaged
+// values stay bit-identical to it at any pool width. The merged cell
+// (seed index 0, wall = sum of its units' wall times) is what reaches
+// the provenance collector, preserving historical manifest cell keys
+// and digests.
+//
+// The returned slice is cell-indexed; out[i] is nil if cells[i] failed
+// or was canceled before all of its seeds ran. The error is the
+// dispatch error (first job error, else the context's).
+func (r *Runner) runCellsAveraged(ctx context.Context, sweep string, cells []Cell) ([]*sim.Results, error) {
+	units := make([]workUnit, 0, len(cells)*r.seeds)
+	for ci, c := range cells {
+		for s := 0; s < r.seeds; s++ {
+			u := c
+			u.Seed = s
+			units = append(units, workUnit{cell: u, slot: ci*r.seeds + s})
 		}
-		res, err := m.RunCtx(ctx, name, r.opsFor(scheme))
-		if err != nil {
-			return nil, err
+	}
+	perSeed := make([]*sim.Results, len(units))
+	walls := make([]time.Duration, len(units))
+	errs := make([]error, len(units))
+	dispatchErr := r.dispatch(ctx, units, func(ctx context.Context, mp *machinePool, u workUnit) error {
+		start := time.Now()
+		res, err := r.runSeed(ctx, mp, u.cell)
+		perSeed[u.slot] = res
+		walls[u.slot] = time.Since(start)
+		errs[u.slot] = err
+		return err
+	})
+	out := make([]*sim.Results, len(cells))
+	for ci, c := range cells {
+		base := ci * r.seeds
+		var wall time.Duration
+		var cellErr error
+		complete := true
+		for s := 0; s < r.seeds; s++ {
+			wall += walls[base+s]
+			if cellErr == nil {
+				cellErr = errs[base+s]
+			}
+			if perSeed[base+s] == nil {
+				complete = false
+			}
 		}
-		if acc == nil {
-			acc = res
+		if cellErr != nil {
+			r.record(sweep, c, wall, nil, cellErr)
 			continue
 		}
-		acc.Instructions += res.Instructions
-		acc.TimeNs += res.TimeNs
-		acc.Cycles += res.Cycles
-		acc.IPC += res.IPC
-		acc.Dev.Reads += res.Dev.Reads
-		acc.Dev.Writes += res.Dev.Writes
-		acc.Dev.ReadEnergy += res.Dev.ReadEnergy
-		acc.Dev.WriteEnergy += res.Dev.WriteEnergy
-		acc.DirtyMetaLines += res.DirtyMetaLines
-		acc.DirtyMetaFrac += res.DirtyMetaFrac
-		if acc.Bitmap != nil && res.Bitmap != nil {
-			sum := *acc.Bitmap
-			sum.L1.Accesses += res.Bitmap.L1.Accesses
-			sum.L1.Hits += res.Bitmap.L1.Hits
-			sum.L1.Misses += res.Bitmap.L1.Misses
-			sum.L1.Evicts += res.Bitmap.L1.Evicts
-			sum.L1.Fills += res.Bitmap.L1.Fills
-			sum.L2.Accesses += res.Bitmap.L2.Accesses
-			sum.L2.Hits += res.Bitmap.L2.Hits
-			sum.L2.Misses += res.Bitmap.L2.Misses
-			sum.L2.Evicts += res.Bitmap.L2.Evicts
-			sum.L2.Fills += res.Bitmap.L2.Fills
-			acc.Bitmap = &sum
+		if !complete {
+			continue // canceled before every seed of this cell ran
 		}
-	}
-	if r.seeds > 1 {
-		n := uint64(r.seeds)
-		fn := float64(r.seeds)
-		acc.Instructions /= n
-		acc.TimeNs /= fn
-		acc.Cycles /= fn
-		acc.IPC /= fn
-		acc.Dev.Reads /= n
-		acc.Dev.Writes /= n
-		acc.Dev.ReadEnergy /= fn
-		acc.Dev.WriteEnergy /= fn
-		acc.DirtyMetaLines /= r.seeds
-		acc.DirtyMetaFrac /= fn
-		if acc.Bitmap != nil {
-			acc.Bitmap.L1.Accesses /= n
-			acc.Bitmap.L1.Hits /= n
-			acc.Bitmap.L1.Misses /= n
-			acc.Bitmap.L1.Evicts /= n
-			acc.Bitmap.L1.Fills /= n
-			acc.Bitmap.L2.Accesses /= n
-			acc.Bitmap.L2.Hits /= n
-			acc.Bitmap.L2.Misses /= n
-			acc.Bitmap.L2.Evicts /= n
-			acc.Bitmap.L2.Fills /= n
+		acc := perSeed[base]
+		for s := 1; s < r.seeds; s++ {
+			acc.Accumulate(perSeed[base+s])
 		}
+		acc.DivideBy(r.seeds)
+		out[ci] = acc
+		r.record(sweep, c, wall, acc, nil)
 	}
-	return acc, nil
+	if dispatchErr != nil {
+		return nil, dispatchErr
+	}
+	return out, nil
 }
 
 // --- figure sweeps -------------------------------------------------------
 
 // Fig10 measures how rarely STAR's bitmap lines reach NVM compared
 // with the baseline's ordinary writes; the per-workload (wb, star)
-// pairs fan out over the pool.
+// pairs fan out over the pool at seed grain.
 func (r *Runner) Fig10(ctx context.Context) ([]Fig10Row, error) {
 	workloads := r.workloadList()
 	schemes := []string{"wb", "star"}
@@ -685,18 +785,7 @@ func (r *Runner) Fig10(ctx context.Context) ([]Fig10Row, error) {
 			cells = append(cells, Cell{Workload: name, Scheme: scheme})
 		}
 	}
-	results := make([]*sim.Results, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
-		start := time.Now()
-		res, err := r.runAveraged(ctx, mp, cells[i].Workload, cells[i].Scheme)
-		results[i] = res
-		if err != nil {
-			r.record("fig10", cells[i], start, nil, err)
-			return err
-		}
-		r.record("fig10", cells[i], start, res, nil)
-		return nil
-	})
+	results, err := r.runCellsAveraged(ctx, "fig10", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -733,18 +822,7 @@ func (r *Runner) SchemeComparison(ctx context.Context, schemes []string) ([]Sche
 			cells = append(cells, Cell{Workload: name, Scheme: scheme})
 		}
 	}
-	results := make([]*sim.Results, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
-		start := time.Now()
-		res, err := r.runAveraged(ctx, mp, cells[i].Workload, cells[i].Scheme)
-		results[i] = res
-		if err != nil {
-			r.record("scheme-comparison", cells[i], start, nil, err)
-			return err
-		}
-		r.record("scheme-comparison", cells[i], start, res, nil)
-		return nil
-	})
+	results, err := r.runCellsAveraged(ctx, "scheme-comparison", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -808,15 +886,15 @@ func (r *Runner) Table2(ctx context.Context, lineCounts []int) ([]Table2Row, err
 		cfg.Bitmap = bitmap.Config{ADRL1Lines: p.lines - p.l2, ADRL2Lines: p.l2}
 		m, err := mp.machine(cfg)
 		if err != nil {
-			r.record("table2", cells[i], start, nil, err)
+			r.record("table2", cells[i], time.Since(start), nil, err)
 			return err
 		}
 		res, err := m.RunCtx(ctx, cells[i].Workload, r.opsFor("star"))
 		if err != nil {
-			r.record("table2", cells[i], start, nil, err)
+			r.record("table2", cells[i], time.Since(start), nil, err)
 			return err
 		}
-		r.record("table2", cells[i], start, res, nil)
+		r.record("table2", cells[i], time.Since(start), res, nil)
 		ratios[i] = res.Bitmap.HitRatio()
 		return nil
 	})
@@ -846,20 +924,13 @@ func (r *Runner) Fig14a(ctx context.Context) ([]Fig14aRow, error) {
 	for i, name := range workloads {
 		cells[i] = Cell{Workload: name, Scheme: "star"}
 	}
-	rows := make([]Fig14aRow, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
-		start := time.Now()
-		res, err := r.runAveraged(ctx, mp, cells[i].Workload, "star")
-		if err != nil {
-			r.record("fig14a", cells[i], start, nil, err)
-			return err
-		}
-		r.record("fig14a", cells[i], start, res, nil)
-		rows[i] = Fig14aRow{Workload: cells[i].Workload, DirtyFrac: res.DirtyMetaFrac}
-		return nil
-	})
+	results, err := r.runCellsAveraged(ctx, "fig14a", cells)
 	if err != nil {
 		return nil, err
+	}
+	rows := make([]Fig14aRow, len(cells))
+	for i, res := range results {
+		rows[i] = Fig14aRow{Workload: cells[i].Workload, DirtyFrac: res.DirtyMetaFrac}
 	}
 	return rows, nil
 }
@@ -892,15 +963,15 @@ func (r *Runner) Fig14b(ctx context.Context, cacheSizes []int) ([]Fig14bRow, err
 		cfg.MetaCache = cache.Config{SizeBytes: size, Ways: 8}
 		m, err := r.crashRun(ctx, mp, cfg, "hash")
 		if err != nil {
-			r.record("fig14b", cells[i], start, nil, err)
+			r.record("fig14b", cells[i], time.Since(start), nil, err)
 			return err
 		}
 		rep, err := m.Recover()
 		if err != nil {
-			r.record("fig14b", cells[i], start, nil, err)
+			r.record("fig14b", cells[i], time.Since(start), nil, err)
 			return err
 		}
-		r.record("fig14b", cells[i], start, rep, nil)
+		r.record("fig14b", cells[i], time.Since(start), rep, nil)
 		recs[i] = rec{seconds: rep.TimeSeconds(), stale: rep.StaleNodes}
 		return nil
 	})
@@ -941,7 +1012,7 @@ func (r *Runner) AblationIndex(ctx context.Context) ([]AblationIndexRow, error) 
 		cfg.Scheme = "star"
 		m, err := r.crashRun(ctx, mp, cfg, cells[i].Workload)
 		if err != nil {
-			r.record("ablation-index", cells[i], start, nil, err)
+			r.record("ablation-index", cells[i], time.Since(start), nil, err)
 			return err
 		}
 		s := m.Engine().Scheme().(*star.Scheme)
@@ -951,10 +1022,10 @@ func (r *Runner) AblationIndex(ctx context.Context) ([]AblationIndexRow, error) 
 		}
 		rep, err := recover()
 		if err != nil {
-			r.record("ablation-index", cells[i], start, nil, err)
+			r.record("ablation-index", cells[i], time.Since(start), nil, err)
 			return err
 		}
-		r.record("ablation-index", cells[i], start, rep, nil)
+		r.record("ablation-index", cells[i], time.Since(start), rep, nil)
 		recs[i] = rec{reads: rep.IndexReads, secs: rep.TimeSeconds()}
 		return nil
 	})

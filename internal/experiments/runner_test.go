@@ -240,25 +240,6 @@ func TestBuildManifestRequiresCollector(t *testing.T) {
 	}
 }
 
-// TestRunnerShimEquivalence pins the deprecated Options entry points
-// to the Runner: migrating a caller mechanically must not change
-// values.
-func TestRunnerShimEquivalence(t *testing.T) {
-	o := fastOpts()
-	legacy, err := SchemeComparison(o, []string{"wb", "star"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaRunner, err := NewRunner(WithOptions(o), WithParallelism(2)).
-		SchemeComparison(context.Background(), []string{"wb", "star"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(legacy, viaRunner) {
-		t.Fatalf("shim and Runner disagree:\nshim:   %+v\nrunner: %+v", legacy, viaRunner)
-	}
-}
-
 func TestRunnerCancellationMidSweep(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

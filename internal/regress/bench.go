@@ -3,6 +3,8 @@ package regress
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"nvmstar/internal/benchfmt"
 )
@@ -71,7 +73,93 @@ func CompareBench(old, new *benchfmt.Doc, tol Tolerance) (*Verdict, error) {
 		v.add(Item{Kind: "bench", Name: name, Status: StatusAdded,
 			New: fmt.Sprintf("%.4g ns/op", newIdx[name].NsPerOp)})
 	}
+	applyFloors(v, new, tol)
 	return v, nil
+}
+
+// applyFloors enforces tol.MetricFloors — absolute minimums on the new
+// document's custom metrics, independent of the baseline (comparing a
+// document against itself still applies them, which is how the
+// bench-parallel gate self-checks a fresh run). Floors only bind on
+// machines with at least tol.FloorMinCPUs CPUs per the document's own
+// "cpus" env record; under that, enforcement is skipped with an info
+// item so single-core containers don't fail a parallelism gate they
+// cannot physically pass.
+func applyFloors(v *Verdict, new *benchfmt.Doc, tol Tolerance) {
+	if len(tol.MetricFloors) == 0 {
+		return
+	}
+	if tol.FloorMinCPUs > 0 {
+		cpus, err := strconv.Atoi(new.Env["cpus"])
+		if err != nil || cpus < tol.FloorMinCPUs {
+			v.add(Item{Kind: "floor", Name: "metric floors", Status: StatusInfo,
+				New: new.Env["cpus"],
+				Detail: fmt.Sprintf("skipped: document records %q cpus, floors need >= %d",
+					new.Env["cpus"], tol.FloorMinCPUs)})
+			return
+		}
+	}
+	// Floors are keyed without go test's "-<procs>" name suffix (which
+	// varies with GOMAXPROCS across machines), but exact names work
+	// too.
+	idx := map[string]benchfmt.Result{}
+	for name, res := range new.Index() {
+		idx[name] = res
+		if base := stripProcSuffix(name); base != name {
+			if _, dup := idx[base]; !dup {
+				idx[base] = res
+			}
+		}
+	}
+	names := make([]string, 0, len(tol.MetricFloors))
+	for name := range tol.MetricFloors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		floors := tol.MetricFloors[name]
+		metrics := make([]string, 0, len(floors))
+		for m := range floors {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		nb, benchOK := idx[name]
+		for _, m := range metrics {
+			floor := floors[m]
+			want := fmt.Sprintf(">= %.4g", floor)
+			if !benchOK {
+				v.add(Item{Kind: "floor", Name: name, Detail: m, Status: StatusMissing, Old: want})
+				continue
+			}
+			val, ok := nb.Metrics[m]
+			if !ok {
+				v.add(Item{Kind: "floor", Name: name, Detail: m, Status: StatusMissing, Old: want})
+				continue
+			}
+			st := StatusOK
+			if val < floor {
+				st = StatusRegressed
+			}
+			v.add(Item{Kind: "floor", Name: name, Detail: m, Status: st,
+				Old: want, New: fmt.Sprintf("%.4g", val)})
+		}
+	}
+}
+
+// stripProcSuffix removes go test's trailing "-<procs>" from a
+// benchmark name ("BenchmarkRunnerMatrix/parallel=4-8" ->
+// "BenchmarkRunnerMatrix/parallel=4").
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 func contains(ss []string, s string) bool {

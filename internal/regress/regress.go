@@ -36,6 +36,17 @@ type Tolerance struct {
 	// Env keys that must match between two benchmark documents; a
 	// mismatch refuses the comparison.
 	RequireSameEnv []string `json:"require_same_env"`
+	// MetricFloors maps benchmark name -> custom metric -> the minimum
+	// acceptable value in the NEW document (absolute, unlike the
+	// relative *Frac fields): the parallel-speedup gate. A floored
+	// metric that is absent or below its floor regresses.
+	MetricFloors map[string]map[string]float64 `json:"metric_floors,omitempty"`
+	// FloorMinCPUs suspends floor enforcement when the new document's
+	// "cpus" env key is missing or smaller: a 1-core container cannot
+	// physically speed up a CPU-bound sweep, so its honest ~1.0x
+	// speedup numbers are reported as info instead of failing the
+	// gate. 0 enforces floors everywhere.
+	FloorMinCPUs int `json:"floor_min_cpus,omitempty"`
 }
 
 // DefaultTolerance returns the gate's default noise model: benchmark

@@ -101,6 +101,82 @@ func TestCompareBenchMissingBenchmarkRegresses(t *testing.T) {
 	}
 }
 
+func floorTolerance() Tolerance {
+	tol := DefaultTolerance()
+	// Keyed without the "-8" procs suffix: floors must match documents
+	// from machines with any GOMAXPROCS.
+	tol.MetricFloors = map[string]map[string]float64{
+		"BenchmarkRunnerMatrix/parallel=4": {"speedup-vs-seq": 2.0},
+	}
+	tol.FloorMinCPUs = 4
+	return tol
+}
+
+func TestCompareBenchFloorEnforced(t *testing.T) {
+	doc := benchDoc()
+	doc.Env["cpus"] = "8"
+	v, err := CompareBench(doc, doc, floorTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Regressed() {
+		t.Fatalf("speedup 2.0 meets the 2.0 floor but regressed: %s", v.Markdown())
+	}
+
+	slow := benchDoc()
+	slow.Env["cpus"] = "8"
+	slow.Results[1].Metrics["speedup-vs-seq"] = 1.5
+	// Keep old == new so only the floor (not relative metric drift)
+	// can fire.
+	v, err = CompareBench(slow, slow, floorTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := v.Regressions()
+	if len(regs) != 1 || regs[0].Kind != "floor" || regs[0].Detail != "speedup-vs-seq" {
+		t.Fatalf("1.5 speedup under a 2.0 floor not localized to the floor item: %+v", regs)
+	}
+}
+
+func TestCompareBenchFloorSkippedBelowMinCPUs(t *testing.T) {
+	for _, cpus := range []string{"", "1", "2"} {
+		doc := benchDoc()
+		if cpus != "" {
+			doc.Env["cpus"] = cpus
+		}
+		doc.Results[1].Metrics["speedup-vs-seq"] = 0.9 // would fail the floor
+		v, err := CompareBench(doc, doc, floorTolerance())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Regressed() {
+			t.Fatalf("cpus=%q: floor enforced on a machine that cannot pass it: %s", cpus, v.Markdown())
+		}
+		skipped := false
+		for _, it := range v.Items {
+			if it.Kind == "floor" && it.Status == StatusInfo {
+				skipped = true
+			}
+		}
+		if !skipped {
+			t.Fatalf("cpus=%q: no info item explaining the skipped floor", cpus)
+		}
+	}
+}
+
+func TestCompareBenchFloorMissingMetricRegresses(t *testing.T) {
+	doc := benchDoc()
+	doc.Env["cpus"] = "8"
+	doc.Results[1].Metrics = nil // floored metric vanished
+	v, err := CompareBench(doc, doc, floorTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Regressed() {
+		t.Fatalf("vanished floored metric not flagged: %s", v.Markdown())
+	}
+}
+
 func shapeReport() *shapes.Report {
 	return &shapes.Report{Checks: []shapes.Check{
 		{Name: "Fig11: STAR write traffic ~1.08x WB", Pass: true, Detail: "measured 1.083x", Values: []float64{1.083}},

@@ -85,13 +85,6 @@ func (r *Report) Passed() bool {
 	return true
 }
 
-// Evaluate runs the evaluation matrix under o and checks every shape.
-//
-// Deprecated: use EvaluateCtx with an experiments.Runner.
-func Evaluate(o experiments.Options) (*Report, error) {
-	return EvaluateCtx(context.Background(), experiments.NewRunner(experiments.WithOptions(o)))
-}
-
 // EvaluateCtx runs the evaluation matrix on r's worker pool and checks
 // every shape; ctx cancellation aborts the sweep mid-cell.
 func EvaluateCtx(ctx context.Context, r *experiments.Runner) (*Report, error) {

@@ -1,6 +1,7 @@
 package shapes
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,15 +16,15 @@ func TestPaperShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape evaluation is slow")
 	}
-	o := experiments.DefaultOptions()
-	o.Ops = 5000
-	o.Config = func() sim.Config {
-		cfg := sim.Default()
-		cfg.DataBytes = 64 << 20
-		cfg.MetaCache.SizeBytes = 256 << 10
-		return cfg
-	}
-	rep, err := Evaluate(o)
+	r := experiments.NewRunner(
+		experiments.WithOps(5000),
+		experiments.WithConfig(func() sim.Config {
+			cfg := sim.Default()
+			cfg.DataBytes = 64 << 20
+			cfg.MetaCache.SizeBytes = 256 << 10
+			return cfg
+		}))
+	rep, err := EvaluateCtx(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

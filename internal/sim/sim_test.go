@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"reflect"
 	"testing"
 
 	"nvmstar/internal/cache"
@@ -122,6 +123,28 @@ func TestDeterminism(t *testing.T) {
 	a, b := runOnce(), runOnce()
 	if a.Dev != b.Dev || a.TimeNs != b.TimeNs || a.Instructions != b.Instructions {
 		t.Fatalf("non-deterministic runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestDeterminismEveryWorkload repeats each workload on two fresh
+// identically-configured machines and requires fully equal Results —
+// including TimeNs, which is sensitive to the order of persists inside
+// one operation. rbtree once ranged over its touched-node map here,
+// letting Go's randomized map iteration leak into simulated bank
+// timing: counters matched but TimeNs/IPC drifted run to run.
+func TestDeterminismEveryWorkload(t *testing.T) {
+	for _, name := range workload.Names() {
+		runOnce := func() *sim.Results {
+			res, _, err := sim.RunScenario(testCfg("star"), name, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := runOnce(), runOnce()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: non-deterministic runs:\n%+v\n%+v", name, a, b)
+		}
 	}
 }
 

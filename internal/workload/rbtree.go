@@ -18,6 +18,11 @@ type rbtreeWL struct {
 	meta    []uint64            // per-thread meta line holding the root pointer
 	model   []map[uint64]uint64 // host-side model for verification
 	touched map[uint64]bool     // node addresses dirtied by the current op
+	// touchOrder records touched's keys in first-touch order: the
+	// persist loop must not range over the map, whose randomized
+	// iteration order would make simulated persist timing — and thus
+	// TimeNs/IPC — nondeterministic across runs.
+	touchOrder []uint64
 }
 
 const (
@@ -56,13 +61,13 @@ func (r *rbtreeWL) Setup(ctx *Ctx) error {
 	// tree of realistic height.
 	for t := 0; t < ctx.Threads; t++ {
 		for i := 0; i < r.maxKeys*6/10; i++ {
-			clear(r.touched)
+			r.clearTouched()
 			key := ctx.Rand(t)%uint64(r.maxKeys) + 1
 			if err := r.insert(ctx, t, key, key*7); err != nil {
 				return err
 			}
 			r.model[t][key] = key * 7
-			for node := range r.touched {
+			for _, node := range r.touchOrder {
 				ctx.Heap.Persist(node, rbNodeSize)
 			}
 			ctx.Heap.Fence()
@@ -79,14 +84,26 @@ func (r *rbtreeWL) get(ctx *Ctx, node uint64, off uint64) uint64 {
 
 func (r *rbtreeWL) set(ctx *Ctx, node uint64, off uint64, v uint64) {
 	ctx.Heap.WriteU64(node+off, v)
-	r.touched[node] = true
+	r.touch(node)
+}
+
+func (r *rbtreeWL) touch(node uint64) {
+	if !r.touched[node] {
+		r.touched[node] = true
+		r.touchOrder = append(r.touchOrder, node)
+	}
+}
+
+func (r *rbtreeWL) clearTouched() {
+	clear(r.touched)
+	r.touchOrder = r.touchOrder[:0]
 }
 
 func (r *rbtreeWL) root(ctx *Ctx, t int) uint64 { return ctx.Heap.ReadU64(r.meta[t]) }
 
 func (r *rbtreeWL) setRoot(ctx *Ctx, t int, node uint64) {
 	ctx.Heap.WriteU64(r.meta[t], node)
-	r.touched[r.meta[t]] = true
+	r.touch(r.meta[t])
 }
 
 func (r *rbtreeWL) isRed(ctx *Ctx, node uint64) bool {
@@ -228,14 +245,14 @@ func (r *rbtreeWL) search(ctx *Ctx, t int, key uint64) bool {
 // Step implements Workload: 70% inserts, 30% searches; every node
 // modified by the operation is persisted, then one fence.
 func (r *rbtreeWL) Step(ctx *Ctx, t int) error {
-	clear(r.touched)
+	r.clearTouched()
 	key := ctx.Rand(t)%uint64(r.maxKeys) + 1
 	if ctx.Rand(t)%10 < 7 {
 		if err := r.insert(ctx, t, key, key*7); err != nil {
 			return err
 		}
 		r.model[t][key] = key * 7
-		for node := range r.touched {
+		for _, node := range r.touchOrder {
 			ctx.Heap.Persist(node, rbNodeSize)
 		}
 		ctx.Heap.Fence()
