@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-parallel bench-parallel-gate report examples vet fmt clean race verify verify-telemetry regress regress-baseline
+.PHONY: all build test test-short bench bench-json bench-parallel bench-parallel-gate bench-shard bench-shard-gate report examples vet fmt lint clean race verify verify-telemetry regress regress-baseline
 
 all: verify
 
-# Tier-1 verify path: build + vet + full tests + race gate over the
-# concurrency-bearing packages (the parallel experiment runner and the
-# simulator it drives).
-verify: build vet test race
+# Tier-1 verify path: build + vet + determinism lint + full tests +
+# race gate over the concurrency-bearing packages (the parallel
+# experiment runner, the sharded engine and the simulator driving
+# them).
+verify: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,12 @@ vet:
 fmt:
 	gofmt -l -w .
 
+# Determinism lint: forbids ranging over maps in the packages whose
+# outputs must be bit-identical run-to-run (map iteration order is
+# randomized in Go; see cmd/detlint for the suppression syntax).
+lint:
+	$(GO) run ./cmd/detlint ./internal/sim ./internal/secmem ./internal/nvm ./internal/schemes ./internal/cachetree
+
 # Full suite, including the ~90 s paper-shape gate.
 test:
 	$(GO) test ./...
@@ -29,11 +36,12 @@ test-short:
 	$(GO) test -short ./...
 
 # Race detector over the packages with real concurrency: the parallel
-# experiment runner's worker pool and the sim context plumbing it
-# exercises. -short skips the wall-clock speedup comparison, which is
-# meaningless under the race detector's slowdown.
+# experiment runner's worker pool, the bank-striped sharded engine and
+# the sim context plumbing they exercise. -short skips the wall-clock
+# speedup comparison, which is meaningless under the race detector's
+# slowdown.
 race:
-	$(GO) test -race -short ./internal/experiments ./internal/sim
+	$(GO) test -race -short ./internal/experiments ./internal/sim ./internal/secmem
 
 # One benchmark per paper table/figure, plus ablations and baselines.
 bench:
@@ -68,6 +76,26 @@ bench-parallel:
 bench-parallel-gate: bench-parallel
 	$(GO) run ./cmd/stardiff -tol regress.tolerance.json -q \
 		$(BENCH_PARALLEL_OUT) $(BENCH_PARALLEL_OUT)
+
+# Intra-machine sharding numbers, committed as BENCH_shard.json:
+# wall-clock STAR recovery at shard widths 1/2/4/8 under the real
+# crypto suite, with the speedup-vs-shards1 metric (meaningful only on
+# a multi-core machine; the document records its CPU count so the gate
+# below can tell the difference).
+BENCH_SHARD_OUT ?= BENCH_shard.json
+
+bench-shard:
+	$(GO) test -run '^$$' -bench BenchmarkRecoveryShards -benchmem . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_SHARD_OUT)
+	@cat $(BENCH_SHARD_OUT)
+
+# Shard-scaling gate: re-measure, then let stardiff enforce the
+# metric_floors in regress.tolerance.json (speedup-vs-shards1 >= 2.0
+# at shards=4). The self-compare makes the floor absolute; machines
+# with fewer than floor_min_cpus CPUs skip it with an info line.
+bench-shard-gate: bench-shard
+	$(GO) run ./cmd/stardiff -tol regress.tolerance.json -q \
+		$(BENCH_SHARD_OUT) $(BENCH_SHARD_OUT)
 
 # Regenerate the evaluation tables (Figs. 10-14, Table II).
 evaluation:

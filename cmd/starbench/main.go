@@ -52,6 +52,7 @@ func run() int {
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
 	metaKB := flag.Int("meta-kb", 256, "metadata cache size in KiB")
 	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "intra-machine shard width: engine goroutines per cell (0/1 = serial; results are bit-identical at every width)")
 	progress := flag.Bool("progress", true, "report per-cell completion, rate and ETA on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -100,6 +101,7 @@ func run() int {
 		experiments.WithOps(*ops),
 		experiments.WithSeeds(*seeds),
 		experiments.WithParallelism(*parallel),
+		experiments.WithShards(*shards),
 		experiments.WithConfig(func() sim.Config {
 			cfg := sim.Default()
 			cfg.DataBytes = uint64(*dataMB) << 20

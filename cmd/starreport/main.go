@@ -42,6 +42,7 @@ func run() int {
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all seven)")
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
 	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "intra-machine shard width: engine goroutines per cell (0/1 = serial; results are bit-identical at every width)")
 	progress := flag.Bool("progress", true, "report per-cell completion, rate and ETA on stderr")
 	httpAddr := flag.String("http", "", "serve live sweep stats (expvar) and pprof on this address, e.g. :6060")
 	manifestOut := flag.String("manifest-out", "", "write a run provenance manifest (per-cell result digests) to this file")
@@ -59,6 +60,7 @@ func run() int {
 		experiments.WithOps(*ops),
 		experiments.WithSeeds(*seeds),
 		experiments.WithParallelism(*parallel),
+		experiments.WithShards(*shards),
 		experiments.WithConfig(func() sim.Config {
 			cfg := sim.Default()
 			cfg.DataBytes = uint64(*dataMB) << 20

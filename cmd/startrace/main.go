@@ -20,7 +20,12 @@ import (
 	"nvmstar/internal/trace"
 )
 
-func main() {
+// main delegates to run so error paths return instead of os.Exit-ing:
+// an exit mid-function skips deferred file closes, which for written
+// artifacts means silently truncated traces on full disks.
+func main() { os.Exit(run()) }
+
+func run() int {
 	record := flag.String("record", "", "record a workload trace to this file")
 	replay := flag.String("replay", "", "replay a trace from this file")
 	wl := flag.String("workload", "hash", "workload to record")
@@ -36,91 +41,108 @@ func main() {
 	cfg.Scheme = *scheme
 	cfg.TraceEvents = *traceOut != ""
 
+	var err error
 	switch {
 	case *record != "" && *replay != "":
-		fail(fmt.Errorf("choose -record or -replay, not both"))
+		err = fmt.Errorf("choose -record or -replay, not both")
 	case *record != "":
-		doRecord(cfg, *record, *wl, *ops, *traceOut)
+		err = doRecord(cfg, *record, *wl, *ops, *traceOut)
 	case *replay != "":
-		doReplay(cfg, *replay, *traceOut)
+		err = doReplay(cfg, *replay, *traceOut)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "startrace:", err)
+		return 1
+	}
+	return 0
 }
 
 // writeEventTrace flushes the machine's structured event trace (when
-// -trace-out asked for one).
-func writeEventTrace(m *sim.Machine, path string) {
+// -trace-out asked for one). Close errors on this written artifact are
+// reported, not swallowed — a full disk must not leave a silently
+// truncated trace behind.
+func writeEventTrace(m *sim.Machine, path string) error {
 	tr := m.Trace()
 	if path == "" || tr == nil {
-		return
+		return nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if err := tr.WriteJSON(f); err != nil {
 		f.Close()
-		fail(err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fail(err)
+		return err
 	}
 	fmt.Printf("wrote %d trace events to %s (load in Perfetto)\n", tr.Len(), path)
+	return nil
 }
 
-func doRecord(cfg sim.Config, path, wl string, ops int, traceOut string) {
-	m, err := sim.NewMachine(cfg)
-	if err != nil {
-		fail(err)
+func doRecord(cfg sim.Config, path, wl string, ops int, traceOut string) (err error) {
+	m, merr := sim.NewMachine(cfg)
+	if merr != nil {
+		return merr
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		fail(err)
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
 	}
-	defer f.Close()
+	// The trace file is a written artifact: its Close error matters on
+	// every path (deferred so early error returns still close it; the
+	// Close result only surfaces when nothing already failed).
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	tw := trace.NewWriter(f)
 	rec := &trace.Recorder{Inner: m, CoreFn: m.CurrentCore, W: tw}
 	s, err := m.NewSessionOn(wl, rec)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if err := s.StepN(ops); err != nil {
-		fail(err)
+		return err
 	}
 	if rec.Err != nil {
-		fail(rec.Err)
+		return rec.Err
 	}
 	if err := tw.Flush(); err != nil {
-		fail(err)
+		return err
 	}
 	fmt.Printf("recorded %d accesses of %s (%d ops) to %s\n", tw.Count(), wl, ops, path)
-	writeEventTrace(m, traceOut)
+	return writeEventTrace(m, traceOut)
 }
 
-func doReplay(cfg sim.Config, path, traceOut string) {
+func doReplay(cfg sim.Config, path, traceOut string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fail(err)
+		return err
 	}
+	// Read-only file: the Close result cannot lose data.
 	defer f.Close()
 	entries, err := trace.ReadAll(f)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	res, err := m.Measure("trace", func() error {
 		return trace.Replay(m, m, entries, cfg.Cores)
 	})
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if m.Err() != nil {
-		fail(m.Err())
+		return m.Err()
 	}
 	fmt.Printf("replayed %d accesses under %s:\n", len(entries), cfg.Scheme)
 	fmt.Printf("  time        %.3f ms\n", res.TimeNs/1e6)
@@ -128,10 +150,5 @@ func doReplay(cfg sim.Config, path, traceOut string) {
 	fmt.Printf("  NVM writes  %d\n", res.Dev.Writes)
 	fmt.Printf("  energy      %.2f uJ\n", res.EnergyPJ()/1e6)
 	fmt.Printf("  dirty meta  %.1f%%\n", 100*res.DirtyMetaFrac)
-	writeEventTrace(m, traceOut)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "startrace:", err)
-	os.Exit(1)
+	return writeEventTrace(m, traceOut)
 }

@@ -64,6 +64,12 @@ type Config struct {
 	Energy        Energy
 	// TrackWear enables per-line write counters (endurance studies).
 	TrackWear bool
+	// Stripes > 1 backs the device with a bank-striped store: line i
+	// lives in sub-store i % Stripes. Addresses on different stripes
+	// may then be committed concurrently (CommitWrite), which is what
+	// the engine's intra-machine sharding relies on. 0 or 1 keeps the
+	// single paged store; observable behavior is identical either way.
+	Stripes int
 }
 
 // Stats accumulates device-level counters.
@@ -98,6 +104,12 @@ type Device struct {
 	store lineStore
 	stats Stats
 	hook  AccessHook
+	// drain runs before any cold-path inspection of device state
+	// (Peek/Poke, wear queries, snapshots): a deferred-execution owner
+	// (the engine's shard executor) installs it so queued-but-uncommitted
+	// writes land before anyone looks at the store out of band. The hot
+	// Read/Write paths never invoke it — their owner drains explicitly.
+	drain func()
 }
 
 // AccessHook observes every counted device access. The machine's
@@ -108,13 +120,30 @@ type AccessHook func(write bool, addr uint64)
 // SetHook installs the access observer (nil to remove).
 func (d *Device) SetHook(h AccessHook) { d.hook = h }
 
+// SetDrain installs the pending-write drain (nil to remove). It is a
+// separate hook from AccessHook: draining commits work whose access was
+// already accounted, so it must not fire the observer again.
+func (d *Device) SetDrain(fn func()) { d.drain = fn }
+
+func (d *Device) drainPending() {
+	if d.drain != nil {
+		d.drain()
+	}
+}
+
 // New creates a Device. Capacity must be a positive multiple of the
 // line size.
 func New(cfg Config) (*Device, error) {
 	if cfg.CapacityBytes == 0 || cfg.CapacityBytes%memline.Size != 0 {
 		return nil, fmt.Errorf("nvm: capacity %d is not a positive multiple of %d", cfg.CapacityBytes, memline.Size)
 	}
-	return &Device{cfg: cfg, store: newPagedStore(cfg.CapacityBytes)}, nil
+	var s lineStore
+	if cfg.Stripes > 1 {
+		s = newStripedStore(cfg.CapacityBytes, cfg.Stripes)
+	} else {
+		s = newPagedStore(cfg.CapacityBytes)
+	}
+	return &Device{cfg: cfg, store: s}, nil
 }
 
 // newWithStore builds a Device over an explicit backing store; the
@@ -144,30 +173,54 @@ func (d *Device) checkAddr(addr uint64) {
 // Read returns the line at addr and whether it has ever been written.
 // Unwritten lines are all-zero.
 func (d *Device) Read(addr uint64) (memline.Line, bool) {
+	d.AccountRead(addr)
+	return d.store.load(addr)
+}
+
+// AccountRead counts one line read — statistics, energy and the access
+// hook — without touching the store. Write = AccountWrite + CommitWrite
+// and Read = AccountRead + load: deferred execution (the engine's shard
+// executor, parallel recovery) uses the halves separately to keep the
+// counted access sequence identical to the serial one while the content
+// work happens elsewhere.
+func (d *Device) AccountRead(addr uint64) {
 	d.checkAddr(addr)
 	d.stats.Reads++
 	d.stats.ReadEnergy += d.cfg.Energy.ReadPJ
 	if d.hook != nil {
 		d.hook(false, addr)
 	}
-	return d.store.load(addr)
 }
 
 // Peek returns the line at addr without counting an access. Recovery
 // verification and tests use it to inspect device state.
 func (d *Device) Peek(addr uint64) (memline.Line, bool) {
+	d.drainPending()
 	d.checkAddr(addr)
 	return d.store.load(addr)
 }
 
 // Write stores a line at addr.
 func (d *Device) Write(addr uint64, l memline.Line) {
+	d.AccountWrite(addr)
+	d.CommitWrite(addr, l)
+}
+
+// AccountWrite counts one line write without storing data; see
+// AccountRead.
+func (d *Device) AccountWrite(addr uint64) {
 	d.checkAddr(addr)
 	d.stats.Writes++
 	d.stats.WriteEnergy += d.cfg.Energy.WritePJ
 	if d.hook != nil {
 		d.hook(true, addr)
 	}
+}
+
+// CommitWrite stores a line whose write was already accounted (store
+// and wear bump only — no counters, no hook). With a striped store,
+// commits to addresses on different stripes may run concurrently.
+func (d *Device) CommitWrite(addr uint64, l memline.Line) {
 	d.store.store(addr, l)
 	if d.cfg.TrackWear {
 		d.store.bumpWear(addr)
@@ -177,6 +230,7 @@ func (d *Device) Write(addr uint64, l memline.Line) {
 // Poke stores a line without counting an access. Attack injection and
 // test setup use it to mutate device state out of band.
 func (d *Device) Poke(addr uint64, l memline.Line) {
+	d.drainPending()
 	d.checkAddr(addr)
 	d.store.store(addr, l)
 }
@@ -199,11 +253,15 @@ func (d *Device) Reset() {
 
 // Wear returns the write count of the line at addr. It is zero unless
 // TrackWear was enabled.
-func (d *Device) Wear(addr uint64) uint64 { return d.store.wear(addr) }
+func (d *Device) Wear(addr uint64) uint64 {
+	d.drainPending()
+	return d.store.wear(addr)
+}
 
 // MaxWear returns the highest per-line write count and its address
 // (the lowest such address on ties).
 func (d *Device) MaxWear() (addr, writes uint64) {
+	d.drainPending()
 	d.store.rangeWear(func(a, w uint64) {
 		if w > writes {
 			addr, writes = a, w
@@ -215,6 +273,7 @@ func (d *Device) MaxWear() (addr, writes uint64) {
 // WearProfile returns per-line wear sorted by descending write count,
 // capped at limit entries. It supports endurance analyses.
 func (d *Device) WearProfile(limit int) []WearEntry {
+	d.drainPending()
 	entries := make([]WearEntry, 0, d.store.wearCount())
 	d.store.rangeWear(func(a, w uint64) {
 		entries = append(entries, WearEntry{Addr: a, Writes: w})
@@ -238,4 +297,7 @@ type WearEntry struct {
 }
 
 // LinesWritten returns how many distinct lines have ever been written.
-func (d *Device) LinesWritten() int { return d.store.linesWritten() }
+func (d *Device) LinesWritten() int {
+	d.drainPending()
+	return d.store.linesWritten()
+}

@@ -111,7 +111,7 @@ func (s *mapStore) wearCount() int                     { return len(s.wears) }
 
 func (s *mapStore) rangeLines(fn func(addr uint64, l memline.Line)) {
 	addrs := make([]uint64, 0, len(s.lines))
-	for a := range s.lines {
+	for a := range s.lines { //detlint:ok keys collected then sorted below
 		addrs = append(addrs, a)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
@@ -122,7 +122,7 @@ func (s *mapStore) rangeLines(fn func(addr uint64, l memline.Line)) {
 
 func (s *mapStore) rangeWear(fn func(addr uint64, writes uint64)) {
 	addrs := make([]uint64, 0, len(s.wears))
-	for a := range s.wears {
+	for a := range s.wears { //detlint:ok keys collected then sorted below
 		addrs = append(addrs, a)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })

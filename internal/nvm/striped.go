@@ -1,0 +1,127 @@
+package nvm
+
+import (
+	"sort"
+
+	"nvmstar/internal/memline"
+)
+
+// stripedStore bank-stripes the line space over n independent paged
+// sub-stores: line i lives in sub-store i % n at inner line i / n.
+// Stores and wear bumps for addresses on different stripes touch
+// disjoint sub-stores, so a shard executor that partitions work by the
+// same modulo rule can commit concurrently without synchronization
+// (paged.Table mutation is not otherwise goroutine-safe).
+//
+// Iteration order is the contract to keep: rangeLines and rangeWear
+// must visit ascending global addresses (snapshots are byte-compared
+// across store implementations), so both collect and sort. They only
+// run on cold paths — Save, WearProfile — where the O(n log n) is
+// irrelevant.
+type stripedStore struct {
+	subs []*pagedStore
+	n    uint64
+}
+
+func newStripedStore(capacityBytes uint64, stripes int) *stripedStore {
+	n := uint64(stripes)
+	lines := capacityBytes / memline.Size
+	perStripe := (lines + n - 1) / n
+	s := &stripedStore{n: n}
+	for i := 0; i < stripes; i++ {
+		s.subs = append(s.subs, newPagedStore(perStripe*memline.Size))
+	}
+	return s
+}
+
+// locate maps a global line-aligned address to its sub-store and the
+// line-aligned address within it.
+func (s *stripedStore) locate(addr uint64) (*pagedStore, uint64) {
+	idx := addr / memline.Size
+	return s.subs[idx%s.n], (idx / s.n) * memline.Size
+}
+
+// global reconstructs the global address of inner address a on stripe.
+func (s *stripedStore) global(stripe int, a uint64) uint64 {
+	return ((a/memline.Size)*s.n + uint64(stripe)) * memline.Size
+}
+
+func (s *stripedStore) load(addr uint64) (memline.Line, bool) {
+	sub, a := s.locate(addr)
+	return sub.load(a)
+}
+
+func (s *stripedStore) store(addr uint64, l memline.Line) {
+	sub, a := s.locate(addr)
+	sub.store(a, l)
+}
+
+func (s *stripedStore) bumpWear(addr uint64) {
+	sub, a := s.locate(addr)
+	sub.bumpWear(a)
+}
+
+func (s *stripedStore) setWear(addr uint64, writes uint64) {
+	sub, a := s.locate(addr)
+	sub.setWear(a, writes)
+}
+
+func (s *stripedStore) wear(addr uint64) uint64 {
+	sub, a := s.locate(addr)
+	return sub.wear(a)
+}
+
+func (s *stripedStore) linesWritten() int {
+	total := 0
+	for _, sub := range s.subs {
+		total += sub.linesWritten()
+	}
+	return total
+}
+
+func (s *stripedStore) wearCount() int {
+	total := 0
+	for _, sub := range s.subs {
+		total += sub.wearCount()
+	}
+	return total
+}
+
+func (s *stripedStore) rangeLines(fn func(addr uint64, l memline.Line)) {
+	type rec struct {
+		addr uint64
+		l    memline.Line
+	}
+	recs := make([]rec, 0, s.linesWritten())
+	for stripe, sub := range s.subs {
+		sub.rangeLines(func(a uint64, l memline.Line) {
+			recs = append(recs, rec{s.global(stripe, a), l})
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].addr < recs[j].addr })
+	for _, r := range recs {
+		fn(r.addr, r.l)
+	}
+}
+
+func (s *stripedStore) rangeWear(fn func(addr uint64, writes uint64)) {
+	type rec struct {
+		addr, writes uint64
+	}
+	recs := make([]rec, 0, s.wearCount())
+	for stripe, sub := range s.subs {
+		sub.rangeWear(func(a, w uint64) {
+			recs = append(recs, rec{s.global(stripe, a), w})
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].addr < recs[j].addr })
+	for _, r := range recs {
+		fn(r.addr, r.writes)
+	}
+}
+
+func (s *stripedStore) reset() {
+	for _, sub := range s.subs {
+		sub.reset()
+	}
+}

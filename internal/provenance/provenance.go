@@ -137,6 +137,10 @@ func ConfigFingerprint(cfg sim.Config) string {
 	customSuite := cfg.Suite != nil
 	cfg.Suite = nil
 	cfg.Seed = 0
+	// Shard width is execution strategy, not machine shape: outputs are
+	// bit-identical at every width, so sharded and serial runs must
+	// fingerprint (and therefore compare) equal.
+	cfg.Shards = 0
 	s := fmt.Sprintf("%+v", cfg)
 	if customSuite {
 		s += "+custom-suite"

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"nvmstar/internal/cachetree"
 	"nvmstar/internal/counter"
@@ -255,8 +256,13 @@ func (s *Scheme) Recover() (*secmem.RecoveryReport, error) {
 	// Rebuild the volatile ST tree so the engine can keep running
 	// after recovery, reusing its storage.
 	s.stTree.Reset(s.e.Suite())
-	for slot, es := range perSlot {
-		s.stTree.UpdateSet(slot, es)
+	slots := make([]int, 0, len(perSlot))
+	for slot := range perSlot { //detlint:ok keys collected then sorted below
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	for _, slot := range slots {
+		s.stTree.UpdateSet(slot, perSlot[slot])
 	}
 	return rep, nil
 }

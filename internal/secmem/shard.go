@@ -1,0 +1,165 @@
+package secmem
+
+import (
+	"sync"
+
+	"nvmstar/internal/memline"
+	"nvmstar/internal/simcrypto"
+)
+
+// Intra-machine sharding: with Config.Shards > 1 the engine models the
+// ADR write-pending queue explicitly. WriteLine keeps its stateful
+// prefix on the main goroutine — counter bump, node MAC, scheme hooks,
+// and the *accounting* of the data write (statistics, energy, the
+// device timing hook), so the counted access sequence is identical to
+// the serial path — and defers the infallible crypto tail (OTP,
+// ciphertext, data MAC, store commit) into per-stripe FIFO queues.
+//
+// A line's stripe is (addr / memline.Size) % Shards, the same modulo
+// rule the bank-striped NVM store uses, so each worker goroutine
+// commits only into its own sub-store and the fan-out needs no locks.
+// Workers run only while the main goroutine blocks in flushShards
+// (fork-join), and the merge back into shared state — data-MAC table
+// entries, MAC-compute counts — happens on the main goroutine in
+// ascending stripe order, FIFO within a stripe. Same-address writes
+// land on the same stripe, so last-writer-wins order is preserved.
+//
+// Every observation point drains first (Stats, reads touching a
+// pending stripe, Crash, snapshots, the device's cold paths via its
+// drain hook), which is what makes all observable outputs bit-identical
+// to the serial engine.
+
+// shardFlushThreshold is the pending-task count that triggers a
+// fork-join flush — the modeled write-pending-queue depth. Large
+// enough to amortize goroutine startup, small enough that a drain at
+// an observation point stays cheap.
+const shardFlushThreshold = 512
+
+// shardInlineLimit: a flush over fewer total tasks than this runs
+// inline on the main goroutine — the same helper, the same results,
+// without goroutine overhead for tiny batches.
+const shardInlineLimit = 64
+
+// shardTask is one deferred data write. mac is filled by the worker.
+type shardTask struct {
+	addr  uint64
+	ctr   uint64
+	mac   uint64
+	plain memline.Line
+}
+
+// shardStripe is one stripe's queue plus the worker-private scratch
+// that keeps the parallel path allocation-free. Stripes are allocated
+// individually so workers do not false-share queue headers.
+type shardStripe struct {
+	tasks []shardTask
+	macs  uint64 // MAC computes performed by the worker, merged at join
+	buf   [80]byte
+}
+
+// initShards wires the shard executor; shards <= 1 leaves the engine
+// fully serial. The device's drain hook covers every cold entry point
+// (Peek/Poke, wear queries, snapshots) so out-of-band inspection never
+// sees an uncommitted batch.
+func (e *Engine) initShards(shards int) {
+	if shards <= 1 {
+		return
+	}
+	e.shards = shards
+	e.stripes = make([]*shardStripe, shards)
+	for i := range e.stripes {
+		e.stripes[i] = &shardStripe{tasks: make([]shardTask, 0, shardFlushThreshold)}
+	}
+	e.dev.SetDrain(e.flushShards)
+}
+
+// enqueueData accounts one user-data NVM write (the exact program
+// point the serial path counts it) and queues its crypto tail.
+func (e *Engine) enqueueData(addr uint64, ctr uint64, plain memline.Line) {
+	e.stats.DataNVMWrites++
+	e.dev.AccountWrite(addr)
+	st := e.stripes[(addr/memline.Size)%uint64(e.shards)]
+	st.tasks = append(st.tasks, shardTask{addr: addr, ctr: ctr, plain: plain})
+	e.pending++
+	if e.pending >= shardFlushThreshold {
+		e.flushShards()
+	}
+}
+
+// drainStripe flushes pending work iff addr's stripe has any — the
+// hot-read guard: a queued write to this line would leave stale store
+// content and a missing data MAC.
+func (e *Engine) drainStripe(addr uint64) {
+	if e.pending == 0 {
+		return
+	}
+	if len(e.stripes[(addr/memline.Size)%uint64(e.shards)].tasks) > 0 {
+		e.flushShards()
+	}
+}
+
+// flushShards runs every queued task and merges the results
+// deterministically. It is safe to call at any time, from any drain
+// point, and (with nothing pending) even concurrently from recovery
+// workers peeking at the device.
+func (e *Engine) flushShards() {
+	if e.pending == 0 {
+		return
+	}
+	if e.pending <= shardInlineLimit {
+		for _, st := range e.stripes {
+			e.runStripe(st)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, st := range e.stripes {
+			if len(st.tasks) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(st *shardStripe) {
+				defer wg.Done()
+				e.runStripe(st)
+			}(st)
+		}
+		wg.Wait()
+	}
+	// Deterministic merge: ascending stripe order, FIFO within each
+	// stripe — mirroring Results.Accumulate's ascending-seed rule.
+	for _, st := range e.stripes {
+		for i := range st.tasks {
+			t := &st.tasks[i]
+			e.dataMAC.Set(t.addr/memline.Size, t.mac)
+		}
+		e.stats.MACComputes += st.macs
+		st.macs = 0
+		st.tasks = st.tasks[:0]
+	}
+	e.pending = 0
+}
+
+// runStripe executes one stripe's queue: the same OTP/MAC/commit
+// sequence the serial path performs, through the same pure helper, on
+// stripe-private buffers. Commits touch only this stripe's sub-store.
+func (e *Engine) runStripe(st *shardStripe) {
+	for i := range st.tasks {
+		t := &st.tasks[i]
+		cipher := simcrypto.XORLine(t.plain, e.suite.OTP(t.addr, t.ctr))
+		t.mac = e.dataMACFieldInto(&st.buf, t.addr, cipher, t.ctr)
+		st.macs++
+		e.dev.CommitWrite(t.addr, cipher)
+	}
+}
+
+// discardShards empties the queues without running them; Reset is
+// about to wipe everything they would have produced.
+func (e *Engine) discardShards() {
+	if e.pending == 0 {
+		return
+	}
+	for _, st := range e.stripes {
+		st.tasks = st.tasks[:0]
+		st.macs = 0
+	}
+	e.pending = 0
+}

@@ -66,9 +66,13 @@ func TestCancelMidPersist(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	// A persist range this large walks lines for hours; only the
-	// in-loop cancellation poll can end it promptly.
-	m.Persist(0, 1<<50)
+	// Walk the whole data region over and over (out-of-range spans are
+	// rejected up front now); the in-loop cancellation poll must end the
+	// walking promptly, long before the iteration cap.
+	region := int(m.Config().DataBytes)
+	for i := 0; i < 1<<20 && m.Err() == nil; i++ {
+		m.Persist(0, region)
+	}
 	if elapsed := time.Since(start); elapsed > 30*time.Second {
 		t.Fatalf("Persist ran %v after cancellation", elapsed)
 	}

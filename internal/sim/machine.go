@@ -108,6 +108,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		Timing:    cfg.Timing,
 		Energy:    cfg.Energy,
 		TrackWear: cfg.TrackWear,
+		Shards:    cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -179,10 +180,13 @@ func (m *Machine) Engine() *secmem.Engine { return m.engine }
 
 // SetCore selects the core that issues subsequent Load/Store/Persist
 // calls (heap.Memory has no thread parameter; the single-goroutine
-// runner switches cores between operations).
+// runner switches cores between operations). An out-of-range core is
+// recorded through setErr — the same fail-stop policy every invalid
+// memory operation follows — and the current core stays selected.
 func (m *Machine) SetCore(core int) {
 	if core < 0 || core >= m.cfg.Cores {
-		panic(fmt.Sprintf("sim: core %d out of range", core))
+		m.setErr(fmt.Errorf("sim: core %d out of range (machine has %d)", core, m.cfg.Cores))
+		return
 	}
 	m.curCore = core
 }
@@ -421,9 +425,31 @@ func (m *Machine) locate(addr uint64) (*cache.Entry, *cache.Cache) {
 
 // --- heap.Memory implementation ------------------------------------------
 
+// checkRange validates that [addr, addr+size) lies inside the
+// protected data region. Out-of-range accesses follow the machine's
+// uniform fail-stop policy: the violation is recorded through setErr
+// (fatal for the surrounding run) and the operation is dropped, never
+// reaching the cache hierarchy or the engine. This is the same policy
+// the engine applies at its own boundary; checking here too keeps
+// bogus lines out of the CPU caches and makes the three entry points
+// (Load, Store, Persist) consistent instead of each failing at a
+// different depth.
+func (m *Machine) checkRange(op string, addr uint64, size uint64) bool {
+	limit := m.cfg.DataBytes
+	if addr >= limit || size > limit-addr {
+		m.setErr(fmt.Errorf("sim: %s [%#x, %#x) beyond the %d-byte data region",
+			op, addr, addr+size, limit))
+		return false
+	}
+	return true
+}
+
 // Load implements heap.Memory for the current core.
 func (m *Machine) Load(addr uint64, buf []byte) {
 	m.pollCtx()
+	if !m.checkRange("load", addr, uint64(len(buf))) {
+		return
+	}
 	c := m.curCore
 	m.instr[c] += instrPerMemOp
 	for len(buf) > 0 {
@@ -438,6 +464,9 @@ func (m *Machine) Load(addr uint64, buf []byte) {
 // Store implements heap.Memory for the current core.
 func (m *Machine) Store(addr uint64, data []byte) {
 	m.pollCtx()
+	if !m.checkRange("store", addr, uint64(len(data))) {
+		return
+	}
 	c := m.curCore
 	m.instr[c] += instrPerMemOp
 	for len(data) > 0 {
@@ -458,6 +487,9 @@ func (m *Machine) Store(addr uint64, data []byte) {
 func (m *Machine) Persist(addr uint64, size int) {
 	c := m.curCore
 	if size <= 0 {
+		return
+	}
+	if !m.checkRange("persist", addr, uint64(size)) {
 		return
 	}
 	first := memline.Align(addr)

@@ -1,0 +1,101 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"nvmstar/internal/sim"
+)
+
+// The machine applies one fail-stop policy to every invalid operation:
+// the violation is recorded through the machine error (fatal for the
+// surrounding run) and the operation is dropped before it can reach
+// the cache hierarchy or the engine. These tests pin that policy for
+// each heap.Memory entry point.
+
+func boundsMachine(t *testing.T) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewMachine(testCfg("star"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLoadBeyondDataRegion(t *testing.T) {
+	m := boundsMachine(t)
+	limit := m.Config().DataBytes
+	buf := make([]byte, 8)
+	m.Load(limit, buf)
+	if m.Err() == nil || !strings.Contains(m.Err().Error(), "beyond") {
+		t.Fatalf("load at limit recorded no bounds error (err=%v)", m.Err())
+	}
+}
+
+func TestStoreBeyondDataRegion(t *testing.T) {
+	m := boundsMachine(t)
+	limit := m.Config().DataBytes
+	// Starts in range, runs past the end: the spanning case must be
+	// rejected up front, not after the in-range lines were dirtied.
+	m.Store(limit-4, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if m.Err() == nil || !strings.Contains(m.Err().Error(), "beyond") {
+		t.Fatalf("store spanning the limit recorded no bounds error (err=%v)", m.Err())
+	}
+}
+
+func TestStoreAddressWrap(t *testing.T) {
+	m := boundsMachine(t)
+	// addr+size wraps uint64; the range check must not be fooled.
+	m.Store(^uint64(0)-16, make([]byte, 64))
+	if m.Err() == nil {
+		t.Fatal("wrapping store recorded no bounds error")
+	}
+}
+
+func TestPersistBeyondDataRegion(t *testing.T) {
+	m := boundsMachine(t)
+	limit := m.Config().DataBytes
+	m.Persist(limit-64, 4096)
+	if m.Err() == nil || !strings.Contains(m.Err().Error(), "beyond") {
+		t.Fatalf("persist spanning the limit recorded no bounds error (err=%v)", m.Err())
+	}
+}
+
+func TestBoundsErrorDropsOperation(t *testing.T) {
+	m := boundsMachine(t)
+	limit := m.Config().DataBytes
+
+	// A valid store, observable afterwards.
+	want := []byte{0xde, 0xad, 0xbe, 0xef}
+	m.Store(128, want)
+
+	// The invalid access neither panics nor disturbs valid data.
+	m.Load(limit+4096, make([]byte, 4))
+	if m.Err() == nil {
+		t.Fatal("out-of-range load recorded no error")
+	}
+
+	got := make([]byte, 4)
+	m.Load(128, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("valid data disturbed: got %x want %x", got, want)
+		}
+	}
+}
+
+func TestInRangeEdgeAccessOK(t *testing.T) {
+	m := boundsMachine(t)
+	limit := m.Config().DataBytes
+	// The final 8 bytes of the region are legal.
+	m.Store(limit-8, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	m.Persist(limit-64, 64)
+	got := make([]byte, 8)
+	m.Load(limit-8, got)
+	if m.Err() != nil {
+		t.Fatalf("edge-of-region access failed: %v", m.Err())
+	}
+	if got[0] != 1 || got[7] != 8 {
+		t.Fatalf("edge-of-region data mismatch: %x", got)
+	}
+}
