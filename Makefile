@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-parallel bench-parallel-gate bench-shard bench-shard-gate report examples vet fmt lint clean race verify verify-telemetry regress regress-baseline
+.PHONY: all build test test-short bench bench-json bench-parallel bench-parallel-gate bench-shard bench-shard-gate bench-fork bench-fork-gate report examples vet fmt lint clean race verify verify-telemetry regress regress-baseline
 
 all: verify
 
@@ -48,10 +48,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable hot-path numbers, committed as BENCH_hotpath.json so
-# regressions show up in review: the per-scheme engine write path and
-# the parallel runner sweep.
+# regressions show up in review: the per-scheme engine write path, the
+# real suite's keyed MAC (midstate vs the replaced rekey path, with
+# allocs/op) and the parallel runner sweep.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWriteLine|BenchmarkRunnerMatrix' -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWriteLine|BenchmarkRealSuiteMAC|BenchmarkRunnerMatrix' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_hotpath.json
 	@cat BENCH_hotpath.json
 
@@ -96,6 +97,27 @@ bench-shard:
 bench-shard-gate: bench-shard
 	$(GO) run ./cmd/stardiff -tol regress.tolerance.json -q \
 		$(BENCH_SHARD_OUT) $(BENCH_SHARD_OUT)
+
+# Run-once/fork-many numbers, committed as BENCH_fork.json: wall time
+# of K crash-recovery variants on copy-on-write forks of one base run
+# versus K monolithic reruns, at 1/4/8/16 variants, with the
+# speedup-vs-rerun metric.
+BENCH_FORK_OUT ?= BENCH_fork.json
+
+bench-fork:
+	$(GO) test -run '^$$' -bench BenchmarkForkRecovery -benchmem . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_FORK_OUT)
+	@cat $(BENCH_FORK_OUT)
+
+# Fork-decomposition gate: re-measure, then let stardiff enforce the
+# metric_floors in regress.fork.tolerance.json (speedup-vs-rerun >= 3.0
+# at variants=8). The floor lives in its own tolerance file with no
+# floor_min_cpus: the win is algorithmic (one run instead of K), so it
+# binds on single-CPU machines too — unlike the parallel and shard
+# gates, whose floors regress.tolerance.json suspends below 4 CPUs.
+bench-fork-gate: bench-fork
+	$(GO) run ./cmd/stardiff -tol regress.fork.tolerance.json -q \
+		$(BENCH_FORK_OUT) $(BENCH_FORK_OUT)
 
 # Regenerate the evaluation tables (Figs. 10-14, Table II).
 evaluation:

@@ -25,6 +25,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -44,8 +45,9 @@ var render func(header []string, rows [][]string) string
 func main() { os.Exit(run()) }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: fig10|fig11|fig12|fig13|table2|fig14a|fig14b|ablation-index|all")
+	exp := flag.String("exp", "all", "experiment: fig10|fig11|fig12|fig13|table2|fig14a|fig14b|ablation-index|crash-points|all (all = the paper matrix; crash-points runs only when named)")
 	ops := flag.Int("ops", 20000, "measured operations per workload run")
+	crashPts := flag.String("crash-points", "", "comma-separated mid-run crash points (in ops) for crash-family sweeps; all points share one forked base run per cell (default: one crash at end of run)")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all seven)")
 	seeds := flag.Int("seeds", 1, "average each cell over this many workload seeds")
 	format := flag.String("format", "table", "output format: table|csv")
@@ -109,8 +111,23 @@ func run() int {
 			return cfg
 		}),
 	}
+	if *crashPts != "" {
+		points, err := parseCrashPoints(*crashPts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starbench: -crash-points: %v\n", err)
+			return 2
+		}
+		ropts = append(ropts, experiments.WithCrashPoints(points...))
+	}
 	if *workloads != "" {
 		ropts = append(ropts, experiments.WithWorkloads(strings.Split(*workloads, ",")...))
+	}
+	if runtime.NumCPU() == 1 && (*parallel > 1 || *shards > 1) {
+		// Warn once: on a single-CPU host extra workers/shards only add
+		// scheduling overhead, and speedup floors are meaningless there —
+		// stardiff records the cpus env field of every bench document so
+		// its gates can tell single-CPU numbers apart.
+		fmt.Fprintf(os.Stderr, "starbench: warning: -parallel/-shards > 1 on a 1-CPU host; no parallel speedup is possible (stardiff's cpus env field records this)\n")
 	}
 	if *progress {
 		ropts = append(ropts, experiments.WithProgress(printProgress))
@@ -197,6 +214,14 @@ func run() int {
 	if want("ablation-index") {
 		ran = true
 		if !runExp("Ablation: multi-layer index vs flat RA scan", func() error { return ablationIndex(ctx, r) }) {
+			return code
+		}
+	}
+	// Not part of -exp all: the crash-point sweep is a diagnostic over
+	// the -crash-points axis, not a paper figure.
+	if *exp == "crash-points" {
+		ran = true
+		if !runExp("Crash points: recovery cost vs crash position (forked base runs)", func() error { return crashPoints(ctx, r) }) {
 			return code
 		}
 	}
@@ -398,6 +423,47 @@ func fig14b(ctx context.Context, r *experiments.Runner) error {
 	}
 	fmt.Print(render(
 		[]string{"meta cache", "stale nodes", "STAR", "Anubis", "STAR/Anubis"}, cells))
+	return nil
+}
+
+// parseCrashPoints parses the -crash-points value: comma-separated
+// operation counts (the experiments layer sorts, dedupes and clamps
+// them per scheme).
+func parseCrashPoints(s string) ([]int, error) {
+	var out []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		v, err := strconv.Atoi(field)
+		if err != nil {
+			return nil, fmt.Errorf("bad crash point %q (want an op count)", field)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no crash points in %q", s)
+	}
+	return out, nil
+}
+
+func crashPoints(ctx context.Context, r *experiments.Runner) error {
+	rows, err := r.CrashPoints(ctx, nil)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, row := range rows {
+		cells = append(cells, []string{
+			row.Workload, row.Scheme,
+			fmt.Sprintf("%d", row.CrashOps),
+			fmt.Sprintf("%d", row.StaleNodes),
+			fmt.Sprintf("%.4fs", row.Seconds),
+		})
+	}
+	fmt.Print(render(
+		[]string{"workload", "scheme", "crash ops", "stale nodes", "recovery"}, cells))
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -40,6 +41,7 @@ func run() int {
 	ops := flag.Int("ops", 8000, "measured operations per workload run")
 	seeds := flag.Int("seeds", 1, "seeds to average per cell")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all seven)")
+	crashPts := flag.String("crash-points", "", "comma-separated mid-run crash points (in ops) for crash-family sweeps; all points share one forked base run per cell (default: one crash at end of run)")
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
 	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "intra-machine shard width: engine goroutines per cell (0/1 = serial; results are bit-identical at every width)")
@@ -70,6 +72,21 @@ func run() int {
 	}
 	if *workloads != "" {
 		ropts = append(ropts, experiments.WithWorkloads(strings.Split(*workloads, ",")...))
+	}
+	if *crashPts != "" {
+		var points []int
+		for _, field := range strings.Split(*crashPts, ",") {
+			if field = strings.TrimSpace(field); field == "" {
+				continue
+			}
+			v, err := strconv.Atoi(field)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "starreport: -crash-points: bad crash point %q\n", field)
+				return 2
+			}
+			points = append(points, v)
+		}
+		ropts = append(ropts, experiments.WithCrashPoints(points...))
 	}
 	if *progress {
 		ropts = append(ropts, experiments.WithProgress(func(p experiments.Progress) {

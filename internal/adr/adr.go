@@ -180,6 +180,21 @@ func (p *Pool) Reset() {
 	p.stats = Stats{}
 }
 
+// Fork returns a deep copy of the pool — same resident lines, LRU
+// order and statistics — wired to the given load and spill functions.
+// The caller supplies fresh functions because the originals close over
+// the parent's owner (the bitmap tracker and its device); the copy's
+// owner must provide its own. The copy and the original may then be
+// used from different goroutines.
+func (p *Pool) Fork(load LoadFn, spill SpillFn) (*Pool, error) {
+	if load == nil || spill == nil {
+		return nil, fmt.Errorf("adr: load and spill functions are required")
+	}
+	f := &Pool{load: load, spill: spill, clock: p.clock, stats: p.stats}
+	f.slots = append([]slot(nil), p.slots...)
+	return f, nil
+}
+
 // Peek returns the resident line for id without LRU or stat effects.
 func (p *Pool) Peek(id uint64) (*Words, bool) {
 	for i := range p.slots {

@@ -205,6 +205,30 @@ func (t *Tracker) Reset() {
 	t.setOps, t.clearOps = 0, 0
 }
 
+// Fork returns a deep copy of the tracker wired to the given (already
+// forked) device: ADR pool contents, LRU order, the on-chip L3 register
+// and all counters carry over, while the pool load/spill closures are
+// rebuilt against the new tracker so RA traffic lands on the new
+// device. The copy and the original may then be used from different
+// goroutines.
+func (t *Tracker) Fork(dev *nvm.Device) (*Tracker, error) {
+	f := &Tracker{geo: t.geo, dev: dev, l3: t.l3, setOps: t.setOps, clearOps: t.clearOps}
+	var err error
+	f.l1, err = t.l1.Fork(
+		func(id uint64) adr.Words { return f.loadRA(f.geo.RAL1Addr(id)) },
+		func(id uint64, w adr.Words) { f.spillRA(f.geo.RAL1Addr(id), w) })
+	if err != nil {
+		return nil, err
+	}
+	f.l2, err = t.l2.Fork(
+		func(id uint64) adr.Words { return f.loadRA(f.geo.RAL2Addr(id)) },
+		func(id uint64, w adr.Words) { f.spillRA(f.geo.RAL2Addr(id), w) })
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
 // Crash performs the power-fail battery dump: every ADR-resident
 // bitmap line is flushed to the RA out of band (Poke: the flush is not
 // part of the measured run). The L3 register survives on chip.

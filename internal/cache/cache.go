@@ -356,6 +356,20 @@ func (c *Cache) Reset() {
 	c.stats = Stats{}
 }
 
+// Fork returns a deep copy of the cache: same contents, LRU order,
+// pins, dirty bits and statistics, in freshly allocated storage. The
+// copy and the original may then be used from different goroutines.
+func (c *Cache) Fork() *Cache {
+	f := &Cache{cfg: c.cfg, numSets: c.numSets, clock: c.clock, stats: c.stats, dirty: c.dirty}
+	backing := make([]Entry, c.numSets*c.cfg.Ways)
+	f.sets = make([][]Entry, c.numSets)
+	for i := range f.sets {
+		f.sets[i] = backing[i*c.cfg.Ways : (i+1)*c.cfg.Ways]
+		copy(f.sets[i], c.sets[i])
+	}
+	return f
+}
+
 // Range calls fn for every valid entry. Iteration order is by set then
 // way, which is deterministic.
 func (c *Cache) Range(fn func(e *Entry)) {

@@ -176,6 +176,19 @@ func (t *Tree) UpdateSet(set int, entries []SetEntry) {
 	}
 }
 
+// Fork returns a deep copy of the tree sharing only the crypto suite
+// (suites are safe for concurrent use). Level storage is freshly
+// allocated and the reused MAC buffers start empty, so the copy and the
+// original may then be used from different goroutines.
+func (t *Tree) Fork() *Tree {
+	f := &Tree{suite: t.suite, numSets: t.numSets, stats: t.stats}
+	f.levels = make([][]uint64, len(t.levels))
+	for i, l := range t.levels {
+		f.levels[i] = append([]uint64(nil), l...)
+	}
+	return f
+}
+
 // RebuildAll recomputes every interior node from the current leaves.
 // It exists for the ablation benchmark comparing incremental updates
 // against full recomputation.

@@ -12,7 +12,6 @@ import (
 	"nvmstar/internal/bitmap"
 	"nvmstar/internal/cache"
 	"nvmstar/internal/provenance"
-	"nvmstar/internal/schemes/star"
 	"nvmstar/internal/sim"
 	"nvmstar/internal/telemetry"
 	"nvmstar/internal/workload"
@@ -41,6 +40,11 @@ type Runner struct {
 	progress  func(Progress)
 	trace     *telemetry.Trace
 	collector *provenance.Collector
+
+	// crashPoints is the WithCrashPoints axis: the mid-run operation
+	// counts at which crash-family sweeps fork and crash their base
+	// runs. Empty means one crash at the end of the run.
+	crashPoints []int
 
 	// costs prices units for longest-expected-first dispatch; it
 	// persists across this runner's sweeps so observed wall times from
@@ -111,6 +115,18 @@ func WithParallelism(n int) Option { return func(r *Runner) { r.parallel = n } }
 // observable outputs are bit-identical across widths; n <= 1 is the
 // serial engine. Overrides the Shards value of a WithConfig supplier.
 func WithShards(n int) Option { return func(r *Runner) { r.shards = n } }
+
+// WithCrashPoints sets the operation counts at which crash-family
+// sweeps (CrashPoints) fork and crash their base runs, enabling
+// mid-run multi-crash-point sweeps: all K points of a (workload,
+// scheme) pair share one base run, forked at each point, so the sweep
+// costs one run plus K recoveries instead of K runs. Points are
+// normalized per scheme — sorted, deduplicated, clamped to the
+// scheme's operation count. With no points (the default) crash
+// families crash once, at the end of the run.
+func WithCrashPoints(points ...int) Option {
+	return func(r *Runner) { r.crashPoints = append([]int(nil), points...) }
+}
 
 // WithProgress registers a callback invoked after every completed
 // unit. Callbacks run on a dedicated reporter goroutine, strictly
@@ -446,6 +462,14 @@ func bump(c *atomic.Int64) {
 // re-derives — has been seen before. A caller-supplied crypto suite
 // may be stateful and is not fingerprintable, so that rare case falls
 // back to a fresh machine per cell.
+//
+// Reset runs on EVERY reuse checkout, unconditionally — that is the
+// pool's whole safety argument, so do not "optimize" it away. A unit
+// that errors, crashes without recovering, or forks and leaves COW
+// pages shared with live children returns its machine to the pool in
+// exactly that dirty state; the next checkout's Reset rewinds all of
+// it (the Reset invariant covers crashed and forked machines alike).
+// TestMachinePoolPoisonedCheckout pins this.
 func (p *machinePool) machine(cfg sim.Config) (*sim.Machine, error) {
 	if cfg.Suite != nil {
 		bump(p.built)
@@ -698,25 +722,6 @@ func (r *Runner) runSeed(ctx context.Context, mp *machinePool, c Cell) (*sim.Res
 	return m.RunCtx(ctx, c.Workload, r.opsFor(c.Scheme))
 }
 
-// crashRun is the shared crash-experiment cell: run the workload on a
-// pooled machine without the trailing verification sweep (whose read
-// misses would evict — and thereby persist — every dirty metadata
-// line, leaving nothing stale to recover), then crash. The caller
-// drives recovery on the returned machine; Reset fully rewinds a
-// crashed-and-recovered machine, so crash cells recycle machines like
-// ordinary cells.
-func (r *Runner) crashRun(ctx context.Context, mp *machinePool, cfg sim.Config, workloadName string) (*sim.Machine, error) {
-	m, err := mp.machine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := m.RunUnverifiedCtx(ctx, workloadName, r.opsFor(cfg.Scheme)); err != nil {
-		return nil, err
-	}
-	m.Crash()
-	return m, nil
-}
-
 // runCellsAveraged executes seed-averaged cells at seed-unit grain:
 // every (cell, seed) pair is one schedulable unit with its own output
 // slot, and after the dispatch the per-seed slots of each cell are
@@ -950,112 +955,6 @@ func (r *Runner) Fig14a(ctx context.Context) ([]Fig14aRow, error) {
 	return rows, nil
 }
 
-// Fig14b sweeps the metadata cache size and measures modeled recovery
-// time for STAR and Anubis after a crash at the end of a hash run;
-// every (size, scheme) point is one pool cell.
-func (r *Runner) Fig14b(ctx context.Context, cacheSizes []int) ([]Fig14bRow, error) {
-	if len(cacheSizes) == 0 {
-		cacheSizes = []int{128 << 10, 256 << 10, 512 << 10, 1 << 20}
-	}
-	schemes := []string{"star", "anubis"}
-	var cells []Cell
-	for _, size := range cacheSizes {
-		for _, scheme := range schemes {
-			cells = append(cells, Cell{Workload: "hash", Scheme: scheme, Label: fmt.Sprintf("meta-kb=%d", size>>10)})
-		}
-	}
-	type rec struct {
-		seconds float64
-		stale   int
-	}
-	recs := make([]rec, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
-		start := time.Now()
-		size := cacheSizes[i/len(schemes)]
-		scheme := schemes[i%len(schemes)]
-		cfg := r.cfg()
-		cfg.Scheme = scheme
-		cfg.MetaCache = cache.Config{SizeBytes: size, Ways: 8}
-		m, err := r.crashRun(ctx, mp, cfg, "hash")
-		if err != nil {
-			r.record("fig14b", cells[i], time.Since(start), nil, err)
-			return err
-		}
-		rep, err := m.Recover()
-		if err != nil {
-			r.record("fig14b", cells[i], time.Since(start), nil, err)
-			return err
-		}
-		r.record("fig14b", cells[i], time.Since(start), rep, nil)
-		recs[i] = rec{seconds: rep.TimeSeconds(), stale: rep.StaleNodes}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var rows []Fig14bRow
-	for si, size := range cacheSizes {
-		row := Fig14bRow{MetaCacheBytes: size}
-		row.StarSeconds = recs[si*2].seconds
-		row.StaleNodes = recs[si*2].stale
-		row.AnubisSeconds = recs[si*2+1].seconds
-		rows = append(rows, row)
-	}
-	return rows, nil
-}
-
-// AblationIndex quantifies the multi-layer index (Section III-D): the
-// same recovery with a flat scan of every L1 bitmap line in the RA.
-// Every (workload, indexed|flat) pair is one pool cell.
-func (r *Runner) AblationIndex(ctx context.Context) ([]AblationIndexRow, error) {
-	workloads := r.workloadList()
-	var cells []Cell
-	for _, name := range workloads {
-		cells = append(cells,
-			Cell{Workload: name, Scheme: "star", Label: "indexed"},
-			Cell{Workload: name, Scheme: "star", Label: "flat"})
-	}
-	type rec struct {
-		reads uint64
-		secs  float64
-	}
-	recs := make([]rec, len(cells))
-	err := r.forEach(ctx, cells, func(ctx context.Context, mp *machinePool, i int) error {
-		start := time.Now()
-		flat := i%2 == 1
-		cfg := r.cfg()
-		cfg.Scheme = "star"
-		m, err := r.crashRun(ctx, mp, cfg, cells[i].Workload)
-		if err != nil {
-			r.record("ablation-index", cells[i], time.Since(start), nil, err)
-			return err
-		}
-		s := m.Engine().Scheme().(*star.Scheme)
-		recover := s.Recover
-		if flat {
-			recover = s.RecoverFlatScan
-		}
-		rep, err := recover()
-		if err != nil {
-			r.record("ablation-index", cells[i], time.Since(start), nil, err)
-			return err
-		}
-		r.record("ablation-index", cells[i], time.Since(start), rep, nil)
-		recs[i] = rec{reads: rep.IndexReads, secs: rep.TimeSeconds()}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var rows []AblationIndexRow
-	for w, name := range workloads {
-		rows = append(rows, AblationIndexRow{
-			Workload:     name,
-			IndexedReads: recs[w*2].reads,
-			FlatReads:    recs[w*2+1].reads,
-			IndexedSecs:  recs[w*2].secs,
-			FlatSecs:     recs[w*2+1].secs,
-		})
-	}
-	return rows, nil
-}
+// Fig14b and AblationIndex — the crash-family sweeps — live in
+// crash.go, decomposed into shared base runs plus forked recovery
+// units.

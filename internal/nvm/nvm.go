@@ -251,6 +251,18 @@ func (d *Device) Reset() {
 	d.stats = Stats{}
 }
 
+// Fork returns a copy-on-write clone of the device: the clone observes
+// the current line contents, wear counters and statistics, and
+// subsequent writes on either side are invisible to the other. Pending
+// deferred writes are drained first so the clone is built from settled
+// state. The access hook and drain are deliberately NOT carried over —
+// they close over the parent's owners (machine timing model, shard
+// executor); the clone's owners re-install their own.
+func (d *Device) Fork() *Device {
+	d.drainPending()
+	return &Device{cfg: d.cfg, store: d.store.fork(), stats: d.stats}
+}
+
 // Wear returns the write count of the line at addr. It is zero unless
 // TrackWear was enabled.
 func (d *Device) Wear(addr uint64) uint64 {

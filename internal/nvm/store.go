@@ -28,6 +28,10 @@ type lineStore interface {
 	rangeLines(fn func(addr uint64, l memline.Line))
 	rangeWear(fn func(addr uint64, writes uint64))
 	reset()
+	// fork returns a copy-on-write clone observing the current contents;
+	// subsequent writes on either side are invisible to the other, and
+	// the two stores may then be used from different goroutines.
+	fork() lineStore
 }
 
 // --- paged slab store --------------------------------------------------
@@ -84,6 +88,10 @@ func (s *pagedStore) reset() {
 	s.wears.Clear()
 }
 
+func (s *pagedStore) fork() lineStore {
+	return &pagedStore{lines: s.lines.Fork(), wears: s.wears.Fork()}
+}
+
 // --- map store ---------------------------------------------------------
 
 // mapStore is the original map-backed store, kept as the reference
@@ -134,4 +142,15 @@ func (s *mapStore) rangeWear(fn func(addr uint64, writes uint64)) {
 func (s *mapStore) reset() {
 	s.lines = make(map[uint64]memline.Line)
 	s.wears = make(map[uint64]uint64)
+}
+
+func (s *mapStore) fork() lineStore {
+	f := newMapStore()
+	for a, l := range s.lines { //detlint:ok order-independent map copy
+		f.lines[a] = l
+	}
+	for a, w := range s.wears { //detlint:ok order-independent map copy
+		f.wears[a] = w
+	}
+	return f
 }

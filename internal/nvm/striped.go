@@ -125,3 +125,11 @@ func (s *stripedStore) reset() {
 		sub.reset()
 	}
 }
+
+func (s *stripedStore) fork() lineStore {
+	f := &stripedStore{n: s.n, subs: make([]*pagedStore, len(s.subs))}
+	for i, sub := range s.subs {
+		f.subs[i] = sub.fork().(*pagedStore)
+	}
+	return f
+}

@@ -1,0 +1,219 @@
+package paged
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// snapshot collects a table's contents via Range.
+func snapshot(tab *Table[uint64]) map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	tab.Range(func(idx, v uint64) { out[idx] = v })
+	return out
+}
+
+func TestForkObservesParentContents(t *testing.T) {
+	tab := New[uint64](4 << 20)
+	idxs := []uint64{0, 511, 512, 1 << 15, 1<<22 - 1, 3 << 20}
+	for i, idx := range idxs {
+		tab.Set(idx, uint64(i)*3+1)
+	}
+	child := tab.Fork()
+	if child.Len() != tab.Len() || child.Slots() != tab.Slots() {
+		t.Fatalf("child Len/Slots = %d/%d, want %d/%d", child.Len(), child.Slots(), tab.Len(), tab.Slots())
+	}
+	if !reflect.DeepEqual(snapshot(child), snapshot(tab)) {
+		t.Fatal("child contents differ from parent at fork time")
+	}
+}
+
+func TestForkIsolatesWritesBothDirections(t *testing.T) {
+	tab := New[uint64](1 << 20)
+	for i := uint64(0); i < 2000; i++ {
+		tab.Set(i*7, i)
+	}
+	child := tab.Fork()
+
+	// Parent writes are invisible to the child, and vice versa; both
+	// sides exercise overwrite, fresh insert and delete on shared pages.
+	tab.Set(0, 999)
+	tab.Set(1<<19, 1)
+	tab.Delete(7)
+	child.Set(14, 888)
+	child.Delete(21)
+	child.Set(1<<19+5, 2)
+
+	if v, _ := child.Get(0); v != 0 {
+		t.Fatalf("parent overwrite leaked into child: %d", v)
+	}
+	if _, ok := child.Get(7); !ok {
+		t.Fatal("parent delete leaked into child")
+	}
+	if _, ok := child.Get(1 << 19); ok {
+		t.Fatal("parent insert leaked into child")
+	}
+	if v, _ := tab.Get(14); v == 888 {
+		t.Fatal("child overwrite leaked into parent")
+	}
+	if _, ok := tab.Get(21); !ok {
+		t.Fatal("child delete leaked into parent")
+	}
+	if _, ok := tab.Get(1<<19 + 5); ok {
+		t.Fatal("child insert leaked into parent")
+	}
+}
+
+func TestForkOfFork(t *testing.T) {
+	tab := New[uint64](1 << 16)
+	for i := uint64(0); i < 100; i++ {
+		tab.Set(i, i)
+	}
+	c1 := tab.Fork()
+	c1.Set(5, 500)
+	c2 := c1.Fork()
+	c2.Set(6, 600)
+	tab.Set(7, 700)
+
+	if v, _ := c2.Get(5); v != 500 {
+		t.Fatalf("grandchild lost child write: %d", v)
+	}
+	if v, _ := c1.Get(6); v == 600 {
+		t.Fatal("grandchild write leaked into child")
+	}
+	if v, _ := c2.Get(7); v == 700 {
+		t.Fatal("root write leaked into grandchild")
+	}
+	if v, _ := tab.Get(5); v == 500 {
+		t.Fatal("child write leaked into root")
+	}
+}
+
+func TestForkThenClearBothSides(t *testing.T) {
+	tab := New[uint64](1 << 16)
+	for i := uint64(0); i < 3000; i++ {
+		tab.Set(i, i+1)
+	}
+	child := tab.Fork()
+	want := snapshot(tab)
+
+	// Parent Clear must not disturb the child (its pages are shared).
+	tab.Clear()
+	if tab.Len() != 0 {
+		t.Fatalf("parent Len after Clear = %d", tab.Len())
+	}
+	if !reflect.DeepEqual(snapshot(child), want) {
+		t.Fatal("parent Clear corrupted child")
+	}
+	// Parent refills after the Clear.
+	tab.Set(42, 4242)
+	if v, _ := child.Get(42); v == 4242 {
+		t.Fatal("post-Clear parent write leaked into child")
+	}
+
+	// Child Clear must not disturb the (refilled) parent.
+	child.Clear()
+	if child.Len() != 0 {
+		t.Fatalf("child Len after Clear = %d", child.Len())
+	}
+	if v, ok := tab.Get(42); !ok || v != 4242 {
+		t.Fatalf("child Clear corrupted parent: (%d, %v)", v, ok)
+	}
+}
+
+func TestForkRandomizedDifferential(t *testing.T) {
+	// A forked table and an eagerly deep-copied reference must stay
+	// indistinguishable under a random operation mix on both sides.
+	rng := rand.New(rand.NewSource(42))
+	tab := New[uint64](1 << 18)
+	for i := 0; i < 5000; i++ {
+		tab.Set(uint64(rng.Intn(1<<18)), rng.Uint64())
+	}
+	child := tab.Fork()
+	refParent, refChild := snapshot(tab), snapshot(child)
+
+	apply := func(tab *Table[uint64], ref map[uint64]uint64) {
+		idx := uint64(rng.Intn(1 << 18))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			tab.Set(idx, v)
+			ref[idx] = v
+		case 1:
+			tab.Delete(idx)
+			delete(ref, idx)
+		case 2:
+			v, ok := tab.Get(idx)
+			rv, rok := ref[idx]
+			if ok != rok || v != rv {
+				t.Fatalf("Get(%d) = (%d, %v), want (%d, %v)", idx, v, ok, rv, rok)
+			}
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		if rng.Intn(2) == 0 {
+			apply(tab, refParent)
+		} else {
+			apply(child, refChild)
+		}
+	}
+	if !reflect.DeepEqual(snapshot(tab), refParent) {
+		t.Fatal("parent diverged from reference")
+	}
+	if !reflect.DeepEqual(snapshot(child), refChild) {
+		t.Fatal("child diverged from reference")
+	}
+	if tab.Len() != len(refParent) || child.Len() != len(refChild) {
+		t.Fatalf("Len drift: parent %d/%d child %d/%d",
+			tab.Len(), len(refParent), child.Len(), len(refChild))
+	}
+}
+
+func TestForkConcurrentUseIsRaceFree(t *testing.T) {
+	// Parent and forks mutate concurrently after the fork point; shared
+	// pages are cloned, never written in place, so this must be clean
+	// under -race.
+	tab := New[uint64](1 << 18)
+	for i := uint64(0); i < 4096; i++ {
+		tab.Set(i*17%(1<<18), i)
+	}
+	const forks = 4
+	children := make([]*Table[uint64], forks)
+	for i := range children {
+		children[i] = tab.Fork()
+	}
+	var wg sync.WaitGroup
+	work := func(tab *Table[uint64], seed int64) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5000; i++ {
+			idx := uint64(rng.Intn(1 << 18))
+			switch rng.Intn(3) {
+			case 0:
+				tab.Set(idx, rng.Uint64())
+			case 1:
+				tab.Delete(idx)
+			default:
+				tab.Get(idx)
+			}
+		}
+	}
+	wg.Add(forks + 1)
+	go work(tab, 1)
+	for i, c := range children {
+		go work(c, int64(i+2))
+	}
+	wg.Wait()
+}
+
+func BenchmarkFork(b *testing.B) {
+	tab := New[uint64](1 << 20)
+	for i := uint64(0); i < 1<<17; i++ {
+		tab.Set(i, i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Fork()
+	}
+}

@@ -33,12 +33,21 @@ const (
 	presentWords = pageSlots / 64
 )
 
+// cowTag identifies the table that owns a dir or page. Fork gives both
+// the parent and the child a fresh tag, so storage allocated before the
+// fork is owned by neither side: whichever table writes it first clones
+// it (copy-on-write). Tags are compared by pointer identity only; the
+// type is non-empty so every allocation has a distinct address.
+type cowTag struct{ _ byte }
+
 type page[V any] struct {
+	owner   *cowTag
 	present [presentWords]uint64
 	vals    [pageSlots]V
 }
 
 type dir[V any] struct {
+	owner *cowTag
 	pages [dirFan]*page[V]
 }
 
@@ -48,6 +57,11 @@ type Table[V any] struct {
 	slots uint64
 	dirs  []*dir[V]
 	count int
+	// owner tags storage this table may mutate in place. A freshly built
+	// table has a nil owner and allocates nil-tagged storage, which
+	// compares equal — so tables that never Fork pay two pointer
+	// comparisons per write and nothing else.
+	owner *cowTag
 }
 
 // New creates a table with the given slot capacity. Get beyond the
@@ -90,26 +104,43 @@ func (t *Table[V]) Get(idx uint64) (V, bool) {
 	return p.vals[slot], true
 }
 
+// claim returns the page holding pageIdx with this table as its owner,
+// allocating or cloning (copy-on-write) the directory and page as
+// needed. Every mutation goes through it, so storage shared with a
+// forked table is never written in place.
+func (t *Table[V]) claim(pageIdx uint64) *page[V] {
+	d := t.dirs[pageIdx>>dirShift]
+	switch {
+	case d == nil:
+		d = &dir[V]{owner: t.owner}
+		t.dirs[pageIdx>>dirShift] = d
+	case d.owner != t.owner:
+		d = &dir[V]{owner: t.owner, pages: d.pages}
+		t.dirs[pageIdx>>dirShift] = d
+	}
+	p := d.pages[pageIdx&dirMask]
+	switch {
+	case p == nil:
+		p = &page[V]{owner: t.owner}
+		d.pages[pageIdx&dirMask] = p
+	case p.owner != t.owner:
+		p = &page[V]{owner: t.owner, present: p.present, vals: p.vals}
+		d.pages[pageIdx&dirMask] = p
+	}
+	return p
+}
+
 // Ref returns a pointer to the slot's value, marking it present and
-// allocating its page if needed. isNew reports whether the slot was
-// absent before the call. The pointer stays valid for the lifetime of
-// the table (pages are never freed), though Clear zeroes the value it
-// refers to.
+// allocating (or, after a Fork, copy-on-write claiming) its page if
+// needed. isNew reports whether the slot was absent before the call.
+// The pointer is valid until the next Fork of this table (which turns
+// every page shared), though Clear zeroes the value it refers to;
+// callers must not retain it across table operations.
 func (t *Table[V]) Ref(idx uint64) (ref *V, isNew bool) {
 	if idx >= t.slots {
 		panic(fmt.Sprintf("paged: slot %d beyond capacity %d", idx, t.slots))
 	}
-	pageIdx := idx >> pageShift
-	d := t.dirs[pageIdx>>dirShift]
-	if d == nil {
-		d = new(dir[V])
-		t.dirs[pageIdx>>dirShift] = d
-	}
-	p := d.pages[pageIdx&dirMask]
-	if p == nil {
-		p = new(page[V])
-		d.pages[pageIdx&dirMask] = p
-	}
+	p := t.claim(idx >> pageShift)
 	slot := idx & pageMask
 	word, bit := slot>>6, uint64(1)<<(slot&63)
 	if p.present[word]&bit == 0 {
@@ -148,6 +179,9 @@ func (t *Table[V]) Delete(idx uint64) (V, bool) {
 	if p.present[word]&bit == 0 {
 		return zero, false
 	}
+	// The slot exists, so the delete mutates its page: claim it first
+	// (a no-op unless the page is shared with a forked table).
+	p = t.claim(pageIdx)
 	out := p.vals[slot]
 	p.vals[slot] = zero
 	p.present[word] &^= bit
@@ -178,18 +212,29 @@ func (t *Table[V]) Range(fn func(idx uint64, v V)) {
 	}
 }
 
-// Clear removes every slot. Pages are retained and zeroed rather than
-// freed — O(allocated pages), skipping pages with nothing present — so
-// a table that is cleared and refilled with a similar working set
+// Clear removes every slot. Owned pages are retained and zeroed rather
+// than freed — O(allocated pages), skipping pages with nothing present
+// — so a table that is cleared and refilled with a similar working set
 // allocates nothing. Machine reuse across experiment cells depends on
 // this: the NVM line store is Cleared per cell instead of rebuilt.
+// Storage shared with a forked table is dropped instead of zeroed (the
+// other table still reads it), so the first refill after a Fork
+// re-allocates those pages.
 func (t *Table[V]) Clear() {
-	for _, d := range t.dirs {
+	for di, d := range t.dirs {
 		if d == nil {
 			continue
 		}
-		for _, p := range d.pages {
+		if d.owner != t.owner {
+			t.dirs[di] = nil
+			continue
+		}
+		for pi, p := range d.pages {
 			if p == nil {
+				continue
+			}
+			if p.owner != t.owner {
+				d.pages[pi] = nil
 				continue
 			}
 			occupied := false
@@ -207,4 +252,20 @@ func (t *Table[V]) Clear() {
 		}
 	}
 	t.count = 0
+}
+
+// Fork returns a copy-on-write clone: the child observes exactly the
+// parent's current contents, and subsequent writes on either side are
+// invisible to the other. The call is O(directories) — page contents
+// are shared, not copied — and both tables receive fresh ownership
+// tags, so whichever side first mutates a shared page clones it then.
+// After the fork, parent and child may be used from different
+// goroutines concurrently: shared storage is only ever read, never
+// written in place.
+func (t *Table[V]) Fork() *Table[V] {
+	child := &Table[V]{slots: t.slots, count: t.count, owner: new(cowTag)}
+	child.dirs = make([]*dir[V], len(t.dirs))
+	copy(child.dirs, t.dirs)
+	t.owner = new(cowTag)
+	return child
 }

@@ -158,6 +158,14 @@ func (s *Scheme) Reset() {
 	s.stats = Stats{}
 }
 
+// Fork implements secmem.Scheme: rebind to the forked engine with a
+// deep copy of the ST merkle tree, the root register snapshot and the
+// counters. The reused encode buffers are scratch, valid only within
+// one operation, so the fork starts with fresh zero ones.
+func (s *Scheme) Fork(e *secmem.Engine) secmem.Scheme {
+	return &Scheme{e: e, stTree: s.stTree.Fork(), stRoot: s.stRoot, stats: s.stats}
+}
+
 // SaveRegisters implements secmem.RegisterPersister: Anubis's only
 // on-chip non-volatile state is the shadow-table merkle root.
 func (s *Scheme) SaveRegisters(w io.Writer) error {

@@ -134,6 +134,19 @@ func (s *Scheme) Reset() {
 	s.stats = Stats{}
 }
 
+// Fork implements secmem.Scheme: rebind to the forked engine with deep
+// copies of the ST tree, the per-block update windows, the root
+// register snapshot and the counters. The reused encode buffers are
+// per-operation scratch; the fork starts with fresh zero ones.
+func (s *Scheme) Fork(e *secmem.Engine) secmem.Scheme {
+	f := &Scheme{e: e, stride: s.stride, stTree: s.stTree.Fork(), stRoot: s.stRoot, stats: s.stats}
+	f.updates = make(map[uint64]int, len(s.updates))
+	for idx, n := range s.updates { //detlint:ok order-independent deep copy into a fresh map
+		f.updates[idx] = n
+	}
+	return f
+}
+
 // SaveRegisters implements secmem.RegisterPersister: Phoenix's only
 // on-chip non-volatile state is the shadow-table merkle root.
 func (s *Scheme) SaveRegisters(w io.Writer) error {

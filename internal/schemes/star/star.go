@@ -137,6 +137,28 @@ func (s *Scheme) Reset() {
 	s.conv = s.conv[:0]
 }
 
+// Fork implements secmem.Scheme: rebind to the forked engine with deep
+// copies of the bitmap tracker (its ADR load/spill closures rebuilt
+// against the forked device), the cache-tree, the root register and the
+// crash flag. The conversion buffer is per-operation scratch and starts
+// empty.
+func (s *Scheme) Fork(e *secmem.Engine) secmem.Scheme {
+	tracker, err := s.tracker.Fork(e.Device())
+	if err != nil {
+		// Fork copies an already-validated tracker; a failure here is a
+		// programming error, not a runtime condition.
+		panic(fmt.Sprintf("star: tracker fork: %v", err))
+	}
+	return &Scheme{
+		e:         e,
+		tracker:   tracker,
+		tree:      s.tree.Fork(),
+		treeRoot:  s.treeRoot,
+		bitmapCfg: s.bitmapCfg,
+		crashed:   s.crashed,
+	}
+}
+
 // OnCrash implements secmem.Scheme: battery-dump the ADR bitmap lines
 // into the recovery area. The L3 index register and the cache-tree
 // root survive on chip.

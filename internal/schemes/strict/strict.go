@@ -75,6 +75,13 @@ func (s *Scheme) Reset() {
 	s.branchFlushes = 0
 }
 
+// Fork implements secmem.Scheme: rebind to the forked engine and carry
+// the flush counter over. flushing is never true between operations, so
+// it need not be copied.
+func (s *Scheme) Fork(e *secmem.Engine) secmem.Scheme {
+	return &Scheme{e: e, branchFlushes: s.branchFlushes}
+}
+
 // Recover implements secmem.Scheme: strict persistence leaves no
 // stale metadata, so recovery is a (successful) no-op.
 func (*Scheme) Recover() (*secmem.RecoveryReport, error) {

@@ -44,6 +44,10 @@ func (*Scheme) OnCrash() {}
 // Reset implements secmem.Scheme: WB holds no state to rewind.
 func (*Scheme) Reset() {}
 
+// Fork implements secmem.Scheme: WB holds no state, so a fresh
+// instance is a complete copy.
+func (*Scheme) Fork(*secmem.Engine) secmem.Scheme { return New() }
+
 // Recover implements secmem.Scheme: WB cannot recover.
 func (*Scheme) Recover() (*secmem.RecoveryReport, error) {
 	return &secmem.RecoveryReport{Scheme: "wb", Supported: false}, secmem.ErrRecoveryUnsupported

@@ -835,6 +835,45 @@ func (e *Engine) Reset(suite simcrypto.Suite) {
 	}
 }
 
+// Fork returns a copy-on-write clone of the engine: device contents
+// fork page-granular (O(occupied pages) via the paged store), volatile
+// controller state — metadata cache, aux snapshots, dirty lists, the
+// root register, statistics — copies deeply, and the scheme forks last,
+// against the already-forked engine. The geometry and crypto suite are
+// shared: both are immutable and safe for concurrent use. The clone
+// carries no telemetry sink; attach one if the forked run should be
+// observed. Pending sharded work is flushed first so the fork happens
+// from settled state, and the clone re-wires its own shard executor and
+// device drain. Parent and clone may then run on different goroutines.
+func (e *Engine) Fork() *Engine {
+	e.flushShards()
+	f := &Engine{
+		cfg:     e.cfg,
+		geo:     e.geo,
+		dev:     e.dev.Fork(),
+		suite:   e.suite,
+		meta:    e.meta.Fork(),
+		aux:     make(map[uint64]*nodeAux, len(e.aux)),
+		root:    e.root,
+		dataMAC: e.dataMAC.Fork(),
+		stats:   e.stats,
+	}
+	for addr, a := range e.aux { //detlint:ok order-independent deep copy into a fresh map
+		cp := *a
+		f.aux[addr] = &cp
+	}
+	f.pendingForced = append([]sit.NodeID(nil), e.pendingForced...)
+	f.dirtySets = make([][]SetEntry, len(e.dirtySets))
+	for i, s := range e.dirtySets {
+		if len(s) > 0 {
+			f.dirtySets[i] = append([]SetEntry(nil), s...)
+		}
+	}
+	f.initShards(f.cfg.Shards)
+	f.scheme = e.scheme.Fork(f)
+	return f
+}
+
 // Recover runs the scheme's recovery procedure.
 func (e *Engine) Recover() (*RecoveryReport, error) {
 	return e.scheme.Recover()

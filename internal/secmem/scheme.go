@@ -56,6 +56,14 @@ type Scheme interface {
 	// rewound — so implementations may re-derive suite-dependent state
 	// through the engine.
 	Reset()
+
+	// Fork returns a deep copy of the scheme attached to e, an
+	// already-forked engine whose device, caches and tables carry the
+	// parent's state. It runs as the last step of Engine.Fork, so
+	// implementations may read forked engine state but must not retain
+	// references into the parent. The copy and the original may then be
+	// used from different goroutines.
+	Fork(e *Engine) Scheme
 }
 
 // RecoveryLineNs is the modeled cost of fetching or updating one

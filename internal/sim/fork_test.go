@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// snapshotOf captures the machine's post-crash non-volatile state.
+func snapshotOf(t *testing.T, m *Machine, label string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Engine().SaveNonVolatile(&buf); err != nil {
+		t.Fatalf("%s: snapshot: %v", label, err)
+	}
+	return buf.Bytes()
+}
+
+// TestForkVsFreshAllSchemes pins the Fork invariant across every
+// scheme: a fork taken after an unverified run, then crashed and
+// recovered, must match a fresh machine driven through the identical
+// sequence — Results, post-crash snapshot bytes and recovery report all
+// bit-identical. The parent is crashed afterwards too, proving the
+// fork's crash/recovery did not disturb it.
+func TestForkVsFreshAllSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fork differential runs ten full cells")
+	}
+	const ops = 1200
+	for _, scheme := range []string{"wb", "strict", "anubis", "phoenix", "star"} {
+		cfg := goldenConfig(scheme)
+
+		fresh, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		fres, err := fresh.RunUnverified("hash", ops)
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", scheme, err)
+		}
+		fresh.Crash()
+
+		parent, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		pres, err := parent.RunUnverified("hash", ops)
+		if err != nil {
+			t.Fatalf("%s: parent run: %v", scheme, err)
+		}
+		if !reflect.DeepEqual(fres, pres) {
+			t.Fatalf("%s: parent run diverged from fresh before any fork", scheme)
+		}
+		fork := parent.Fork()
+		fork.Crash()
+
+		fsnap := snapshotOf(t, fresh, scheme+"/fresh")
+		ksnap := snapshotOf(t, fork, scheme+"/fork")
+		if !bytes.Equal(fsnap, ksnap) {
+			t.Errorf("%s: post-crash snapshot differs between fresh and fork (%d vs %d bytes)",
+				scheme, len(fsnap), len(ksnap))
+		}
+
+		if scheme != "wb" {
+			frep, err := fresh.Recover()
+			if err != nil {
+				t.Fatalf("%s: fresh recovery: %v", scheme, err)
+			}
+			krep, err := fork.Recover()
+			if err != nil {
+				t.Fatalf("%s: fork recovery: %v", scheme, err)
+			}
+			if !reflect.DeepEqual(frep, krep) {
+				t.Errorf("%s: recovery reports differ:\nfresh %+v\nfork  %+v", scheme, frep, krep)
+			}
+		}
+
+		// The fork's whole crash/recovery cycle must be invisible to the
+		// parent: crashing it now must reproduce the fresh machine's
+		// post-crash snapshot.
+		parent.Crash()
+		psnap := snapshotOf(t, parent, scheme+"/parent")
+		if !bytes.Equal(fsnap, psnap) {
+			t.Errorf("%s: parent corrupted by fork activity (snapshot %d vs %d bytes)",
+				scheme, len(fsnap), len(psnap))
+		}
+	}
+}
+
+// TestForkMidRunCrashPoints pins the segmented-stepping equivalence the
+// experiments layer's crash-point decomposition relies on: forking one
+// base machine at several mid-run points and crashing each fork matches
+// fresh machines run (via the same session stepping) exactly to those
+// points.
+func TestForkMidRunCrashPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point differential runs several full cells")
+	}
+	points := []int{300, 700, 1100}
+	cfg := goldenConfig("star")
+
+	parent, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := parent.NewSession("hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var forks []*Machine
+	prev := 0
+	for _, p := range points {
+		if err := s.StepN(p - prev); err != nil {
+			t.Fatalf("base step to %d: %v", p, err)
+		}
+		prev = p
+		f := parent.Fork()
+		f.Crash()
+		forks = append(forks, f)
+	}
+
+	for i, p := range points {
+		fresh, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := fresh.NewSession("hash")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.StepN(p); err != nil {
+			t.Fatalf("fresh step to %d: %v", p, err)
+		}
+		fresh.Crash()
+		fsnap := snapshotOf(t, fresh, "fresh")
+		ksnap := snapshotOf(t, forks[i], "fork")
+		if !bytes.Equal(fsnap, ksnap) {
+			t.Errorf("crash point %d: snapshot differs between fresh and fork", p)
+		}
+		frep, err := fresh.Recover()
+		if err != nil {
+			t.Fatalf("crash point %d: fresh recovery: %v", p, err)
+		}
+		krep, err := forks[i].Recover()
+		if err != nil {
+			t.Fatalf("crash point %d: fork recovery: %v", p, err)
+		}
+		if !reflect.DeepEqual(frep, krep) {
+			t.Errorf("crash point %d: recovery reports differ:\nfresh %+v\nfork  %+v", p, frep, krep)
+		}
+	}
+}
+
+// TestForkOfFork: a grandchild taken from an (uncrashed) child must
+// still satisfy the Fork invariant against a fresh machine.
+func TestForkOfFork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full cells")
+	}
+	const ops = 800
+	cfg := goldenConfig("anubis")
+
+	fresh, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.RunUnverified("array", ops); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Crash()
+
+	parent, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.RunUnverified("array", ops); err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Fork()
+	grand := child.Fork()
+	grand.Crash()
+
+	if !bytes.Equal(snapshotOf(t, fresh, "fresh"), snapshotOf(t, grand, "grandchild")) {
+		t.Error("fork-of-fork post-crash snapshot differs from fresh run")
+	}
+	frep, err := fresh.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grep, err := grand.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(frep, grep) {
+		t.Errorf("fork-of-fork recovery differs:\nfresh %+v\ngrand %+v", frep, grep)
+	}
+	// The intermediate child is still intact.
+	child.Crash()
+	crep, err := child.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(frep, crep) {
+		t.Errorf("intermediate child recovery differs:\nfresh %+v\nchild %+v", frep, crep)
+	}
+}
+
+// TestForkThenReset: Reset on either side of a fork restores the full
+// Reset invariant — both the recycled parent and the recycled child
+// reproduce a fresh machine bit for bit, regardless of what the other
+// side did meanwhile.
+func TestForkThenReset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full cells")
+	}
+	const ops = 800
+	cfg := goldenConfig("star")
+
+	ref, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := ref.Run("queue", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parent, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.RunUnverified("hash", ops); err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Fork()
+
+	// Parent resets and reruns while the child still holds shared pages.
+	parent.Reset(cfg.Seed)
+	pres, err := parent.Run("queue", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rres, pres) {
+		t.Errorf("reset parent diverged from fresh:\nfresh %+v\nreset %+v", rres, pres)
+	}
+
+	// The child was not disturbed: crash + recover still succeed.
+	child.Crash()
+	if rep, err := child.Recover(); err != nil || !rep.Verified {
+		t.Fatalf("child recovery after parent reset: rep=%+v err=%v", rep, err)
+	}
+
+	// And a reset child is as good as fresh.
+	child.Reset(cfg.Seed)
+	cres, err := child.Run("queue", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rres, cres) {
+		t.Errorf("reset child diverged from fresh:\nfresh %+v\nreset %+v", rres, cres)
+	}
+}
+
+// TestForkShardWidths holds the Fork invariant at every shard width the
+// engine supports: the sharded write queue must be settled into the
+// fork so its crash state matches an unsharded-equivalent fresh run.
+func TestForkShardWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full cells per shard width")
+	}
+	const ops = 800
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := goldenConfig("star")
+		cfg.Shards = shards
+
+		fresh, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if _, err := fresh.RunUnverified("hash", ops); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		fresh.Crash()
+
+		parent, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if _, err := parent.RunUnverified("hash", ops); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		fork := parent.Fork()
+		fork.Crash()
+
+		if !bytes.Equal(snapshotOf(t, fresh, "fresh"), snapshotOf(t, fork, "fork")) {
+			t.Errorf("shards=%d: post-crash snapshot differs between fresh and fork", shards)
+		}
+		frep, err := fresh.Recover()
+		if err != nil {
+			t.Fatalf("shards=%d: fresh recovery: %v", shards, err)
+		}
+		krep, err := fork.Recover()
+		if err != nil {
+			t.Fatalf("shards=%d: fork recovery: %v", shards, err)
+		}
+		if !reflect.DeepEqual(frep, krep) {
+			t.Errorf("shards=%d: recovery reports differ:\nfresh %+v\nfork  %+v", shards, frep, krep)
+		}
+	}
+}
+
+// TestForkConcurrentSmoke runs the parent and N forks concurrently —
+// forks crash and recover on their own goroutines while the parent
+// keeps stepping its workload. Shared COW pages are only ever read, so
+// this must be clean under the race detector (make race covers it).
+func TestForkConcurrentSmoke(t *testing.T) {
+	const (
+		baseOps  = 600
+		extraOps = 300
+		nForks   = 4
+	)
+	cfg := goldenConfig("star")
+	parent, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := parent.NewSession("hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepN(baseOps); err != nil {
+		t.Fatal(err)
+	}
+
+	forks := make([]*Machine, nForks)
+	for i := range forks {
+		forks[i] = parent.Fork()
+	}
+
+	var wg sync.WaitGroup
+	reports := make([]bool, nForks)
+	wg.Add(nForks)
+	for i, f := range forks {
+		go func(i int, f *Machine) {
+			defer wg.Done()
+			f.Crash()
+			rep, err := f.Recover()
+			reports[i] = err == nil && rep.Verified
+		}(i, f)
+	}
+	// The parent keeps executing while the forks recover.
+	stepErr := s.StepN(extraOps)
+	wg.Wait()
+
+	if stepErr != nil {
+		t.Fatalf("parent steps during concurrent forks: %v", stepErr)
+	}
+	for i, ok := range reports {
+		if !ok {
+			t.Errorf("fork %d failed to recover", i)
+		}
+	}
+}

@@ -573,6 +573,45 @@ func (m *Machine) Recover() (*secmem.RecoveryReport, error) {
 	return rep, err
 }
 
+// Fork returns a copy-on-write clone of the machine — engine, device
+// contents, CPU caches, ownership directory, timing state and error —
+// that behaves exactly as a fresh machine run to the same point: the
+// Fork invariant (see DESIGN.md),
+//
+//	m.Fork() then X  ≡  fresh machine, same workload to the same point, then X
+//
+// for every observable output — Results, statistics, snapshots, sealed
+// manifest digests. Device and owner-table contents share pages
+// copy-on-write, so the call is O(occupied pages), not O(memory), and
+// the parent may keep running (or Reset and be reused) while forks run
+// on other goroutines. Telemetry is isolated: the fork starts fresh
+// per its config, never sharing the parent's sinks; the attached
+// context is not inherited.
+func (m *Machine) Fork() *Machine {
+	f := &Machine{
+		cfg:       m.cfg,
+		engine:    m.engine.Fork(),
+		autoSuite: m.autoSuite,
+		owner:     m.owner.Fork(),
+		coreNow:   append([]float64(nil), m.coreNow...),
+		instr:     append([]uint64(nil), m.instr...),
+		curCore:   m.curCore,
+		bankFree:  append([]float64(nil), m.bankFree...),
+		wqDone:    append([]float64(nil), m.wqDone...),
+		wqIdx:     m.wqIdx,
+		wqLastOut: m.wqLastOut,
+		err:       m.err,
+	}
+	for i := range m.l1 {
+		f.l1 = append(f.l1, m.l1[i].Fork())
+		f.l2 = append(f.l2, m.l2[i].Fork())
+	}
+	f.l3 = m.l3.Fork()
+	f.engine.Device().SetHook(f.onDeviceAccess)
+	f.initTelemetry()
+	return f
+}
+
 // Reset restores the machine to the state NewMachine would produce for
 // the same configuration with Seed = seed, without reallocating:
 // caches, owner table, timing state, engine and scheme all rewind in
