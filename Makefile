@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-parallel bench-parallel-gate bench-shard bench-shard-gate bench-fork bench-fork-gate report examples vet fmt lint clean race verify verify-telemetry regress regress-baseline
+.PHONY: all build test test-short bench bench-json bench-parallel bench-parallel-gate bench-shard bench-shard-gate bench-fork bench-fork-gate report examples vet fmt lint clean race verify verify-telemetry verify-attr regress regress-baseline
 
 all: verify
 
 # Tier-1 verify path: build + vet + determinism lint + full tests +
 # race gate over the concurrency-bearing packages (the parallel
 # experiment runner, the sharded engine and the simulator driving
-# them).
-verify: build vet lint test race
+# them), plus the attribution observability gate.
+verify: build vet lint test race verify-attr
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,7 @@ test-short:
 # speedup comparison, which is meaningless under the race detector's
 # slowdown.
 race:
-	$(GO) test -race -short ./internal/experiments ./internal/sim ./internal/secmem
+	$(GO) test -race -short ./internal/experiments ./internal/sim ./internal/secmem ./internal/telemetry
 
 # One benchmark per paper table/figure, plus ablations and baselines.
 bench:
@@ -136,6 +136,25 @@ verify-telemetry:
 		/tmp/nvmstar-telemetry/timeline_trace.json \
 		/tmp/nvmstar-telemetry/sweep_trace.json
 	test -s /tmp/nvmstar-telemetry/timeline_dirty_frac.svg
+
+# Write-cause attribution gate: (1) the disabled path stays
+# allocation-free on the engine's write hot path, (2) the OpenMetrics
+# exposition and /metrics endpoint pass the strict lint, (3) a mini
+# attributed sweep produces a non-empty breakdown report, (4) the
+# golden trace fixture's event names (including attr:<cause>) validate.
+verify-attr:
+	rm -rf /tmp/nvmstar-attr && mkdir -p /tmp/nvmstar-attr
+	$(GO) test -run '^$$' -bench BenchmarkEngineWriteLineAttrDisabled -benchmem . \
+		| tee /tmp/nvmstar-attr/bench.txt
+	grep -q ' 0 allocs/op' /tmp/nvmstar-attr/bench.txt
+	$(GO) test -count=1 -run 'OpenMetrics|Metrics|Quantile' ./internal/telemetry
+	$(GO) test -count=1 -run 'Attr' ./internal/nvm ./internal/sim ./internal/experiments
+	$(GO) run ./cmd/starreport -ops 1200 -workloads hash -attr -gate=false -progress=false \
+		> /tmp/nvmstar-attr/report.md
+	grep -q 'Write-cause breakdown' /tmp/nvmstar-attr/report.md
+	$(GO) run ./cmd/starplot -wearmap -ops 1200 -out /tmp/nvmstar-attr
+	test -s /tmp/nvmstar-attr/wearmap.svg
+	$(GO) run ./cmd/tracecheck -min 1 -names cmd/tracecheck/testdata/golden_trace.json
 
 # Executable paper-vs-measured report; non-zero exit if a shape breaks.
 report:

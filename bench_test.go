@@ -399,6 +399,31 @@ func BenchmarkEngineWriteLine(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineWriteLineAttrDisabled pins the attribution-disabled
+// invariant the verify-attr CI gate greps for: with sim.Config.Attr
+// off (the default), the write path must report 0 allocs/op — the
+// entire attribution feature costs one nil check per accounted write.
+func BenchmarkEngineWriteLineAttrDisabled(b *testing.B) {
+	m, err := sim.NewMachine(benchCfg("star"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := m.Engine()
+	if e.Device().AttributionEnabled() {
+		b.Fatal("attribution unexpectedly enabled by default")
+	}
+	var line [64]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%500000) * 64
+		line[0] = byte(i)
+		if err := e.WriteLine(addr, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRealSuiteMAC pins the real suite's keyed-MAC hot path. The
 // suite absorbs the 32-byte MAC key into a SHA-256 once at
 // construction and serializes that midstate; each MAC call rehydrates

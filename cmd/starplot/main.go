@@ -27,20 +27,28 @@ import (
 	"nvmstar/internal/svgplot"
 )
 
-func main() {
+// main delegates to run so deferred cleanup (the signal-context stop)
+// executes on every exit path — an os.Exit mid-function would skip
+// it; error paths return an exit code instead (the startrace fix,
+// applied here too).
+func main() { os.Exit(run()) }
+
+func run() int {
 	ops := flag.Int("ops", 8000, "measured operations per workload run")
 	out := flag.String("out", "figures", "output directory for SVG files")
 	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", true, "report per-cell completion and ETA on stderr")
 	timeline := flag.Bool("timeline", false, "render sampled telemetry timelines of one run instead of the figure sweep")
-	workloadName := flag.String("workload", "hash", "workload for -timeline")
-	scheme := flag.String("scheme", "star", "scheme for -timeline")
+	wearmap := flag.Bool("wearmap", false, "render a per-bank NVM wear heatmap from one attribution-enabled run instead of the figure sweep")
+	wearCols := flag.Int("wear-cols", 64, "address-slot columns of the -wearmap grid (each cell is the max line wear in its slot)")
+	workloadName := flag.String("workload", "hash", "workload for -timeline/-wearmap")
+	scheme := flag.String("scheme", "star", "scheme for -timeline/-wearmap")
 	sampleNs := flag.Float64("sample-ns", 10000, "timeline sampling interval in simulated ns (-timeline)")
 	traceOut := flag.String("trace-out", "", "write the run's event trace as Chrome trace-event JSON (-timeline; default <out>/timeline_trace.json)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *timeline {
@@ -48,9 +56,15 @@ func main() {
 			*traceOut = filepath.Join(*out, "timeline_trace.json")
 		}
 		if err := runTimeline(*out, *traceOut, *workloadName, *scheme, *ops, *sampleNs); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		return
+		return 0
+	}
+	if *wearmap {
+		if err := runWearmap(*out, *workloadName, *scheme, *ops, *wearCols); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -78,22 +92,23 @@ func main() {
 	}
 	r := experiments.NewRunner(ropts...)
 
-	write := func(name string, chart *svgplot.BarChart) {
+	write := func(name string, chart *svgplot.BarChart) error {
 		svg, err := chart.SVG()
 		if err != nil {
-			fail(err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		path := filepath.Join(*out, name)
 		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Println("wrote", path)
+		return nil
 	}
 
 	// Figs. 11-13 share one scheme-comparison run.
 	rows, err := r.SchemeComparison(ctx, []string{"wb", "star", "anubis", "strict"})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	experiments.SortSchemeRows(rows)
 	schemes := []string{"star", "anubis", "strict"}
@@ -118,20 +133,26 @@ func main() {
 		}
 		return c
 	}
-	write("fig11_write_traffic.svg", chartOf(
+	if err := write("fig11_write_traffic.svg", chartOf(
 		"Fig. 11: NVM write traffic (normalized to WB)", "writes vs WB",
-		func(r experiments.SchemeRow) float64 { return r.WriteRatio }, 8))
-	write("fig12_ipc.svg", chartOf(
+		func(r experiments.SchemeRow) float64 { return r.WriteRatio }, 8)); err != nil {
+		return fail(err)
+	}
+	if err := write("fig12_ipc.svg", chartOf(
 		"Fig. 12: IPC (normalized to WB)", "IPC vs WB",
-		func(r experiments.SchemeRow) float64 { return r.IPCRatio }, 1.1))
-	write("fig13_energy.svg", chartOf(
+		func(r experiments.SchemeRow) float64 { return r.IPCRatio }, 1.1)); err != nil {
+		return fail(err)
+	}
+	if err := write("fig13_energy.svg", chartOf(
 		"Fig. 13: NVM energy (normalized to WB)", "energy vs WB",
-		func(r experiments.SchemeRow) float64 { return r.EnergyRatio }, 8))
+		func(r experiments.SchemeRow) float64 { return r.EnergyRatio }, 8)); err != nil {
+		return fail(err)
+	}
 
 	// Fig. 10: bitmap-line writes per op under STAR vs WB writes per op.
 	fig10, err := r.Fig10(ctx)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	c10 := &svgplot.BarChart{
 		Title:  "Fig. 10: bitmap-line NVM writes vs WB writes (per op)",
@@ -144,12 +165,14 @@ func main() {
 			Values: []float64{float64(row.WBWrites) / float64(*ops), float64(row.BitmapWrites) / float64(*ops)},
 		})
 	}
-	write("fig10_bitmap_writes.svg", c10)
+	if err := write("fig10_bitmap_writes.svg", c10); err != nil {
+		return fail(err)
+	}
 
 	// Fig. 14a: dirty metadata fraction.
 	fig14a, err := r.Fig14a(ctx)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	c14a := &svgplot.BarChart{
 		Title:  "Fig. 14a: dirty metadata in cache at crash",
@@ -160,12 +183,14 @@ func main() {
 	for _, row := range fig14a {
 		c14a.Groups = append(c14a.Groups, svgplot.BarGroup{Label: row.Workload, Values: []float64{100 * row.DirtyFrac}})
 	}
-	write("fig14a_dirty_fraction.svg", c14a)
+	if err := write("fig14a_dirty_fraction.svg", c14a); err != nil {
+		return fail(err)
+	}
 
 	// Fig. 14b: recovery time vs metadata cache size.
 	fig14b, err := r.Fig14b(ctx, nil)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	c14b := &svgplot.BarChart{
 		Title:  "Fig. 14b: recovery time vs metadata cache size",
@@ -178,7 +203,10 @@ func main() {
 			Values: []float64{row.StarSeconds * 1000, row.AnubisSeconds * 1000},
 		})
 	}
-	write("fig14b_recovery_time.svg", c14b)
+	if err := write("fig14b_recovery_time.svg", c14b); err != nil {
+		return fail(err)
+	}
+	return 0
 }
 
 // runTimeline executes one telemetry-enabled run and renders its
@@ -270,11 +298,72 @@ func runTimeline(outDir, tracePath, workloadName, scheme string, ops int, sample
 	return nil
 }
 
-func fail(err error) {
+// runWearmap executes one attribution-enabled run and renders the
+// device's per-bank wear distribution as a heatmap: one row per bank,
+// each cell the maximum per-line write count in its address slot. Row
+// labels carry the bank's max and p99 wear so the figure doubles as a
+// wear-leveling summary; the per-cause write breakdown goes to stdout.
+func runWearmap(outDir, workloadName, scheme string, ops, cols int) error {
+	cfg := sim.Default()
+	cfg.DataBytes = 64 << 20
+	cfg.MetaCache.SizeBytes = 256 << 10
+	cfg.Scheme = scheme
+	cfg.Attr = true
+	cfg.TrackWear = true
+
+	res, m, err := sim.RunScenario(cfg, workloadName, ops)
+	if err != nil {
+		return err
+	}
+	dev := m.Engine().Device()
+	grid := dev.WearGrid(cols)
+	stats := dev.BankWearStats()
+	if len(grid) == 0 || len(stats) != len(grid) {
+		return fmt.Errorf("wearmap: no wear data (attribution off?)")
+	}
+	labels := make([]string, len(grid))
+	values := make([][]float64, len(grid))
+	for b, row := range grid {
+		labels[b] = fmt.Sprintf("bank %d (max %d, p99 %.0f)", b, stats[b].MaxWear, stats[b].P99Wear)
+		values[b] = make([]float64, len(row))
+		for c, v := range row {
+			values[b][c] = float64(v)
+		}
+	}
+	h := &svgplot.Heatmap{
+		Title:     fmt.Sprintf("NVM wear by bank: %s/%s (%d ops)", workloadName, scheme, ops),
+		XLabel:    "address slots (low -> high)",
+		RowLabels: labels,
+		Values:    values,
+	}
+	svg, err := h.SVG()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "wearmap.svg")
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	if b := res.WriteBreakdown; b != nil {
+		fmt.Printf("write causes over %d total line writes:\n", b.Total)
+		for _, c := range b.Causes {
+			if c.Writes == 0 {
+				continue
+			}
+			fmt.Printf("  %-10s %12d (%.1f%%)\n", c.Cause, c.Writes, 100*float64(c.Writes)/float64(b.Total))
+		}
+	}
+	return nil
+}
+
+// fail reports err on stderr and returns the process exit code for it;
+// callers `return fail(err)` out of run so deferred cleanup still runs.
+func fail(err error) int {
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "starplot: interrupted")
-		os.Exit(130)
+		return 130
 	}
 	fmt.Fprintln(os.Stderr, "starplot:", err)
-	os.Exit(1)
+	return 1
 }

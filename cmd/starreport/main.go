@@ -12,7 +12,9 @@
 // column to the markdown and failing on out-of-tolerance drift), and
 // -gate=false downgrades shape failures to warnings — for generating
 // baselines from smoke-sized runs whose absolute shapes are not
-// expected to hold.
+// expected to hold. -attr enables write-cause attribution: the report
+// gains a per-(workload, scheme) cause-breakdown table and, with
+// -http, the aggregate is scrapable as OpenMetrics on /metrics.
 package main
 
 import (
@@ -45,6 +47,7 @@ func run() int {
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
 	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "intra-machine shard width: engine goroutines per cell (0/1 = serial; results are bit-identical at every width)")
+	attr := flag.Bool("attr", false, "enable write-cause attribution: append a per-(workload, scheme) cause breakdown to the report and expose it on -http /metrics")
 	progress := flag.Bool("progress", true, "report per-cell completion, rate and ETA on stderr")
 	httpAddr := flag.String("http", "", "serve live sweep stats (expvar) and pprof on this address, e.g. :6060")
 	manifestOut := flag.String("manifest-out", "", "write a run provenance manifest (per-cell result digests) to this file")
@@ -67,8 +70,14 @@ func run() int {
 			cfg := sim.Default()
 			cfg.DataBytes = uint64(*dataMB) << 20
 			cfg.MetaCache.SizeBytes = 256 << 10
+			cfg.Attr = *attr
 			return cfg
 		}),
+	}
+	var agg *experiments.AttrAggregator
+	if *attr {
+		agg = experiments.NewAttrAggregator()
+		ropts = append(ropts, experiments.WithResultObserver(agg.Observe))
 	}
 	if *workloads != "" {
 		ropts = append(ropts, experiments.WithWorkloads(strings.Split(*workloads, ",")...))
@@ -109,12 +118,15 @@ func run() int {
 		srv := telemetry.NewDebugServer(*httpAddr, map[string]func() any{
 			"sweep": func() any { return r.Snapshot() },
 		})
+		if agg != nil {
+			srv.AddMetricsSource(agg)
+		}
 		addr, err := srv.Start()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "starreport: -http:", err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "starreport: live stats on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "starreport: live stats on http://%s/debug/vars (pprof under /debug/pprof/; attribution on /metrics with -attr)\n", addr)
 	}
 
 	rep, err := shapes.EvaluateCtx(ctx, r)
@@ -187,6 +199,9 @@ func run() int {
 	}
 
 	fmt.Print(rep.MarkdownWithDrift(drift))
+	if agg != nil {
+		fmt.Print("\n" + agg.Markdown())
+	}
 	if !rep.Passed() {
 		if *gate {
 			fmt.Fprintln(os.Stderr, "starreport: one or more shape checks FAILED")

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"nvmstar/internal/telemetry"
+)
+
+// TestGoldenTraceFixture validates the committed fixture — a star
+// run with attribution and tracing enabled, crashed and recovered —
+// end to end: it parses, every event name is a known emission point,
+// and the crash/recovery/attribution events the simulator promises
+// are all present.
+func TestGoldenTraceFixture(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden_trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.ParseTraceJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("fixture has no events")
+	}
+	if bad := checkNames(events); len(bad) != 0 {
+		t.Fatalf("fixture has unknown event names:\n%s", strings.Join(bad, "\n"))
+	}
+	want := map[string]bool{
+		"crash":         false,
+		"recovery:star": false,
+		"scan_index":    false,
+		"meta_evict":    false,
+	}
+	attr := false
+	for _, e := range events {
+		if _, ok := want[e.Name]; ok {
+			want[e.Name] = true
+		}
+		if strings.HasPrefix(e.Name, "attr:") {
+			attr = true
+		}
+	}
+	for name, found := range want {
+		if !found {
+			t.Errorf("fixture missing %q event", name)
+		}
+	}
+	if !attr {
+		t.Error("fixture missing attribution (attr:<cause>) events")
+	}
+}
+
+func TestCheckNamesFlagsUnknown(t *testing.T) {
+	events := []telemetry.Event{
+		{Name: "crash", Cat: "sim"},
+		{Name: "recovery:star", Cat: "sim"},
+		{Name: "attr:recovery", Cat: "recovery"},
+		{Name: "hash/star", Cat: "sweep"},           // free-form: ok
+		{Name: "whatever", Cat: "somecustom"},       // unknown category: ok
+		{Name: "attr:not-a-cause", Cat: "recovery"}, /* bad */
+		{Name: "attr:not-a-cause", Cat: "recovery"}, // duplicate: deduped
+		{Name: "recovery:", Cat: "sim"},             // empty scheme: bad
+		{Name: "typo_evict", Cat: "secmem"},         // bad
+	}
+	bad := checkNames(events)
+	if len(bad) != 3 {
+		t.Fatalf("violations = %d, want 3:\n%s", len(bad), strings.Join(bad, "\n"))
+	}
+	for _, v := range bad {
+		if !strings.Contains(v, "not-a-cause") && !strings.Contains(v, "recovery:") && !strings.Contains(v, "typo_evict") {
+			t.Errorf("unexpected violation %q", v)
+		}
+	}
+	if got := checkNames(nil); len(got) != 0 {
+		t.Errorf("empty trace produced violations: %v", got)
+	}
+}

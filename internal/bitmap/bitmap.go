@@ -110,7 +110,7 @@ func (t *Tracker) loadRA(addr uint64) adr.Words {
 }
 
 func (t *Tracker) spillRA(addr uint64, w adr.Words) {
-	t.dev.Write(addr, encodeWords(w))
+	t.dev.WriteCause(addr, encodeWords(w), nvm.CauseBitmap)
 }
 
 func decodeWords(l memline.Line) adr.Words {
@@ -233,8 +233,14 @@ func (t *Tracker) Fork(dev *nvm.Device) (*Tracker, error) {
 // bitmap line is flushed to the RA out of band (Poke: the flush is not
 // part of the measured run). The L3 register survives on chip.
 func (t *Tracker) Crash() {
-	t.l1.Flush(func(id uint64, w adr.Words) { t.dev.Poke(t.geo.RAL1Addr(id), encodeWords(w)) })
-	t.l2.Flush(func(id uint64, w adr.Words) { t.dev.Poke(t.geo.RAL2Addr(id), encodeWords(w)) })
+	t.l1.Flush(func(id uint64, w adr.Words) {
+		t.dev.Poke(t.geo.RAL1Addr(id), encodeWords(w))
+		t.dev.RecordOOB(nvm.CauseADRFlush)
+	})
+	t.l2.Flush(func(id uint64, w adr.Words) {
+		t.dev.Poke(t.geo.RAL2Addr(id), encodeWords(w))
+		t.dev.RecordOOB(nvm.CauseADRFlush)
+	})
 }
 
 // L3Register returns a copy of the on-chip top index line.

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nvmstar/internal/cache"
+	"nvmstar/internal/sim"
+	"nvmstar/internal/telemetry"
+)
+
+// attrRunner is fastRunner with write-cause attribution enabled and an
+// aggregator observing the sweep.
+func attrRunner(parallel int, agg *AttrAggregator) *Runner {
+	return NewRunner(
+		WithOps(1200),
+		WithWorkloads("array", "queue"),
+		WithConfig(func() sim.Config {
+			cfg := sim.Default()
+			cfg.Cores = 4
+			cfg.DataBytes = 16 << 20
+			cfg.L1 = cache.Config{SizeBytes: 8 << 10, Ways: 2}
+			cfg.L2 = cache.Config{SizeBytes: 32 << 10, Ways: 8}
+			cfg.L3 = cache.Config{SizeBytes: 128 << 10, Ways: 8}
+			cfg.MetaCache = cache.Config{SizeBytes: 64 << 10, Ways: 8}
+			cfg.Attr = true
+			return cfg
+		}),
+		WithParallelism(parallel),
+		WithResultObserver(agg.Observe),
+	)
+}
+
+// TestAttrAggregatorSweep drives a 4-wide sweep through the observer
+// and checks the aggregate: every (workload, scheme) pair present,
+// breakdown totals matching the cells' device write counts, and the
+// exposition/report renderings well-formed.
+func TestAttrAggregatorSweep(t *testing.T) {
+	agg := NewAttrAggregator()
+	r := attrRunner(4, agg)
+	cells := r.Matrix(nil, []string{"wb", "star"})
+	res, err := r.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantTotal := map[attrKey]uint64{}
+	for _, cr := range res {
+		if cr.Err != nil {
+			t.Fatalf("cell %v: %v", cr.Cell, cr.Err)
+		}
+		if cr.Results.WriteBreakdown == nil {
+			t.Fatalf("cell %v missing WriteBreakdown with Attr enabled", cr.Cell)
+		}
+		wantTotal[attrKey{cr.Workload, cr.Scheme}] += cr.Results.WriteBreakdown.Total
+	}
+
+	rows := agg.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 workloads x 2 schemes): %+v", len(rows), rows)
+	}
+	for _, row := range rows {
+		want := wantTotal[attrKey{row.Workload, row.Scheme}]
+		if row.Breakdown.Total != want {
+			t.Errorf("%s/%s aggregate total = %d, want %d",
+				row.Workload, row.Scheme, row.Breakdown.Total, want)
+		}
+		if row.Cells != 1 {
+			t.Errorf("%s/%s cells = %d, want 1", row.Workload, row.Scheme, row.Cells)
+		}
+		if row.Breakdown.CauseWrites("data") == 0 {
+			t.Errorf("%s/%s has no data-attributed writes", row.Workload, row.Scheme)
+		}
+	}
+	// Rows are in workload-major, scheme-ordered sequence.
+	if rows[0].Scheme != "wb" || rows[1].Scheme != "star" || rows[0].Workload != rows[1].Workload {
+		t.Errorf("row order wrong: %+v", rows)
+	}
+
+	// The aggregate's exposition must pass the strict OpenMetrics lint.
+	var b strings.Builder
+	if err := telemetry.WriteOpenMetrics(&b, agg.MetricFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.LintOpenMetrics([]byte(b.String())); err != nil {
+		t.Fatalf("aggregate exposition fails lint: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), `attr_writes{workload="array",scheme="star",cause="data"}`) {
+		t.Fatalf("exposition missing labeled attr_writes sample:\n%s", b.String())
+	}
+
+	md := agg.Markdown()
+	for _, want := range []string{"## Write-cause breakdown", "| workload | scheme |", "| array | star |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	txt := agg.Table()
+	if !strings.Contains(txt, "workload") || !strings.Contains(txt, "star") {
+		t.Errorf("table rendering wrong:\n%s", txt)
+	}
+}
+
+// TestAttrAggregatorEmpty pins the disabled-sweep behavior: no
+// families (so /metrics stays unchanged) and a stub report.
+func TestAttrAggregatorEmpty(t *testing.T) {
+	agg := NewAttrAggregator()
+	if fams := agg.MetricFamilies(); fams != nil {
+		t.Fatalf("empty aggregator exposes families: %+v", fams)
+	}
+	if md := agg.Markdown(); !strings.Contains(md, "No attributed cells") {
+		t.Fatalf("empty markdown = %q", md)
+	}
+	// Observing a result without a breakdown is a no-op, not a panic.
+	agg.Observe(Cell{Workload: "array", Scheme: "wb"}, &sim.Results{})
+	if len(agg.Rows()) != 0 {
+		t.Fatal("breakdown-less result was aggregated")
+	}
+}
+
+// TestResultObserverSeedMerged checks WithResultObserver's contract on
+// seed-averaged sweeps: the observer sees one merged cell per
+// (workload, scheme), not one call per seed.
+func TestResultObserverSeedMerged(t *testing.T) {
+	agg := NewAttrAggregator()
+	r := NewRunner(
+		WithOps(600),
+		WithWorkloads("array"),
+		WithSeeds(3),
+		WithConfig(func() sim.Config {
+			cfg := sim.Default()
+			cfg.Cores = 2
+			cfg.DataBytes = 16 << 20
+			cfg.MetaCache = cache.Config{SizeBytes: 64 << 10, Ways: 8}
+			cfg.Attr = true
+			return cfg
+		}),
+		WithParallelism(2),
+		WithResultObserver(agg.Observe),
+	)
+	rows, err := r.SchemeComparison(context.Background(), []string{"wb", "star"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("scheme rows = %d", len(rows))
+	}
+	got := agg.Rows()
+	if len(got) != 2 {
+		t.Fatalf("aggregated rows = %d, want 2 merged cells: %+v", len(got), got)
+	}
+	for _, row := range got {
+		if row.Cells != 1 {
+			t.Errorf("%s/%s observed %d times, want once (merged)", row.Workload, row.Scheme, row.Cells)
+		}
+		if row.Breakdown.Total == 0 {
+			t.Errorf("%s/%s merged breakdown empty", row.Workload, row.Scheme)
+		}
+	}
+}

@@ -40,6 +40,7 @@ type Runner struct {
 	progress  func(Progress)
 	trace     *telemetry.Trace
 	collector *provenance.Collector
+	observer  func(Cell, *sim.Results)
 
 	// crashPoints is the WithCrashPoints axis: the mid-run operation
 	// counts at which crash-family sweeps fork and crash their base
@@ -140,6 +141,16 @@ func WithProgress(fn func(Progress)) Option { return func(r *Runner) { r.progres
 // sweep's start. Events are appended by the reporter goroutine, off
 // the workers' critical path.
 func WithTrace(tr *telemetry.Trace) Option { return func(r *Runner) { r.trace = tr } }
+
+// WithResultObserver registers a callback invoked with every completed
+// cell whose value is a *sim.Results (seed-merged cells observe the
+// merged value; failed cells are not observed). Callbacks run on
+// worker goroutines as cells complete and must be safe for concurrent
+// use — the attribution aggregator feeding live /metrics exposition is
+// the intended consumer.
+func WithResultObserver(fn func(Cell, *sim.Results)) Option {
+	return func(r *Runner) { r.observer = fn }
+}
 
 // WithCollector attaches a provenance collector: every completed cell
 // of every sweep on this runner is digested into it (canonical-JSON
@@ -278,6 +289,11 @@ func (r *Runner) WallTime() time.Duration { return time.Duration(r.wallNs.Load()
 // when err is non-nil. wall is the cell's total compute time (for
 // seed-merged cells, the sum of its units' wall times).
 func (r *Runner) record(sweep string, c Cell, wall time.Duration, v any, err error) {
+	if r.observer != nil && err == nil {
+		if res, ok := v.(*sim.Results); ok && res != nil {
+			r.observer(c, res)
+		}
+	}
 	if r.collector == nil {
 		return
 	}

@@ -104,6 +104,10 @@ type Device struct {
 	store lineStore
 	stats Stats
 	hook  AccessHook
+	// attr, when non-nil, accumulates per-cause × per-bank write counts
+	// (attr.go). Nil is the disabled state: the accounting hot path pays
+	// one nil check and nothing else.
+	attr *attrState
 	// drain runs before any cold-path inspection of device state
 	// (Peek/Poke, wear queries, snapshots): a deferred-execution owner
 	// (the engine's shard executor) installs it so queued-but-uncommitted
@@ -207,11 +211,25 @@ func (d *Device) Write(addr uint64, l memline.Line) {
 }
 
 // AccountWrite counts one line write without storing data; see
-// AccountRead.
+// AccountRead. Untagged writes fall into CauseOther — every issue
+// point in the tree is expected to use AccountWriteCause/WriteCause
+// instead, and the attribution tests assert CauseOther stays zero.
 func (d *Device) AccountWrite(addr uint64) {
+	d.AccountWriteCause(addr, CauseOther)
+}
+
+// AccountWriteCause counts one line write tagged with its cause. The
+// engine's sharded executor always runs accounting at the serial
+// program point, so per-cause counters need no cross-shard merge and
+// are bit-identical at every shard width.
+func (d *Device) AccountWriteCause(addr uint64, cause Cause) {
 	d.checkAddr(addr)
 	d.stats.Writes++
 	d.stats.WriteEnergy += d.cfg.Energy.WritePJ
+	if d.attr != nil {
+		d.attr.counts[cause][int(addr/memline.Size)%d.attr.banks]++
+		d.attr.wearValid = false
+	}
 	if d.hook != nil {
 		d.hook(true, addr)
 	}
@@ -249,6 +267,7 @@ func (d *Device) ResetStats() { d.stats = Stats{} }
 func (d *Device) Reset() {
 	d.store.reset()
 	d.stats = Stats{}
+	d.attr.reset()
 }
 
 // Fork returns a copy-on-write clone of the device: the clone observes
@@ -257,10 +276,12 @@ func (d *Device) Reset() {
 // deferred writes are drained first so the clone is built from settled
 // state. The access hook and drain are deliberately NOT carried over —
 // they close over the parent's owners (machine timing model, shard
-// executor); the clone's owners re-install their own.
+// executor); the clone's owners re-install their own. Attribution
+// state is deep-copied: the fork observes the parent's counts so far
+// and diverges independently afterwards.
 func (d *Device) Fork() *Device {
 	d.drainPending()
-	return &Device{cfg: d.cfg, store: d.store.fork(), stats: d.stats}
+	return &Device{cfg: d.cfg, store: d.store.fork(), stats: d.stats, attr: d.attr.clone()}
 }
 
 // Wear returns the write count of the line at addr. It is zero unless

@@ -1,15 +1,63 @@
 package nvm
 
-import "nvmstar/internal/telemetry"
+import (
+	"fmt"
+
+	"nvmstar/internal/telemetry"
+)
 
 // AttachTelemetry registers the device's counters as lazily sampled
 // series under prefix (e.g. "nvm"). The gauge functions read the live
 // Stats at sample time only, so attaching costs the device's access
 // paths nothing; a nil registry makes every registration a no-op.
+//
+// When write-cause attribution is enabled the device additionally
+// registers labeled series — per-cause write totals, per-cause ×
+// per-bank splits, and the per-bank wear summary (max/mean/p99) — as
+// `prefix.writes_by_cause{cause="…",bank="…"}` and
+// `prefix.wear_{max,mean,p99}{bank="…"}`. The sampler treats the full
+// labeled string as the series name; the OpenMetrics exposition splits
+// the label block back out. Registration happens at machine
+// construction, before the first sample, as the sampler requires.
 func (d *Device) AttachTelemetry(reg *telemetry.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".reads", func() float64 { return float64(d.stats.Reads) })
 	reg.GaugeFunc(prefix+".writes", func() float64 { return float64(d.stats.Writes) })
 	reg.GaugeFunc(prefix+".read_energy_pj", func() float64 { return d.stats.ReadEnergy })
 	reg.GaugeFunc(prefix+".write_energy_pj", func() float64 { return d.stats.WriteEnergy })
 	reg.GaugeFunc(prefix+".lines_written", func() float64 { return float64(d.store.linesWritten()) })
+	if reg == nil || d.attr == nil {
+		return
+	}
+	a := d.attr
+	for c := Cause(0); c < NumCauses; c++ {
+		cc := c
+		reg.GaugeFunc(fmt.Sprintf("%s.writes_by_cause{cause=%q}", prefix, cc.String()), func() float64 {
+			var sum uint64
+			for _, v := range a.counts[cc] {
+				sum += v
+			}
+			return float64(sum)
+		})
+		for b := 0; b < a.banks; b++ {
+			bb := b
+			reg.GaugeFunc(fmt.Sprintf("%s.writes_by_cause{cause=%q,bank=\"%d\"}", prefix, cc.String(), bb), func() float64 {
+				return float64(a.counts[cc][bb])
+			})
+		}
+	}
+	// Per-bank wear summary. BankWearStats memoizes its scan against the
+	// device write count, so a sampling tick pays for one scan no matter
+	// how many of these series it reads.
+	for b := 0; b < a.banks; b++ {
+		bb := b
+		reg.GaugeFunc(fmt.Sprintf("%s.wear_max{bank=\"%d\"}", prefix, bb), func() float64 {
+			return float64(d.BankWearStats()[bb].MaxWear)
+		})
+		reg.GaugeFunc(fmt.Sprintf("%s.wear_mean{bank=\"%d\"}", prefix, bb), func() float64 {
+			return d.BankWearStats()[bb].MeanWear
+		})
+		reg.GaugeFunc(fmt.Sprintf("%s.wear_p99{bank=\"%d\"}", prefix, bb), func() float64 {
+			return d.BankWearStats()[bb].P99Wear
+		})
+	}
 }

@@ -27,7 +27,11 @@ import (
 	"runtime"
 	"strings"
 
+	"nvmstar/internal/bitmap"
+	"nvmstar/internal/cache"
+	"nvmstar/internal/nvm"
 	"nvmstar/internal/sim"
+	"nvmstar/internal/simcrypto"
 )
 
 // CanonicalJSON renders v as canonical JSON: compact, object keys
@@ -141,10 +145,63 @@ func ConfigFingerprint(cfg sim.Config) string {
 	// bit-identical at every width, so sharded and serial runs must
 	// fingerprint (and therefore compare) equal.
 	cfg.Shards = 0
-	s := fmt.Sprintf("%+v", cfg)
+	// The hash input is the %+v rendering of fingerprintConfig, an
+	// explicit mirror of the config fields as of the fingerprint's
+	// introduction — NOT of sim.Config itself, whose %+v string (and
+	// therefore every sealed manifest's fingerprint) would silently
+	// change each time a field is added. New fields must opt in: either
+	// mix into the suffix when non-default (as Attr does — attribution
+	// adds WriteBreakdown to cell results, so attr runs must not compare
+	// equal to non-attr baselines) or extend the mirror with a new
+	// pinned baseline. TestConfigFingerprintPinned guards this.
+	s := fmt.Sprintf("%+v", fingerprintConfig{
+		Cores: cfg.Cores, DataBytes: cfg.DataBytes,
+		L1: cfg.L1, L2: cfg.L2, L3: cfg.L3,
+		MetaCache: cfg.MetaCache, Scheme: cfg.Scheme, Bitmap: cfg.Bitmap,
+		Suite: cfg.Suite, Timing: cfg.Timing, Energy: cfg.Energy,
+		TrackWear: cfg.TrackWear, FreqGHz: cfg.FreqGHz,
+		L1LatNs: cfg.L1LatNs, L2LatNs: cfg.L2LatNs, L3LatNs: cfg.L3LatNs,
+		MCLatNs: cfg.MCLatNs, WriteQueue: cfg.WriteQueue, Banks: cfg.Banks,
+		Seed: cfg.Seed, Shards: cfg.Shards,
+		Telemetry: cfg.Telemetry, SampleEveryNs: cfg.SampleEveryNs,
+		TraceEvents: cfg.TraceEvents,
+	})
 	if customSuite {
 		s += "+custom-suite"
 	}
+	if cfg.Attr {
+		s += "+attr"
+	}
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])
+}
+
+// fingerprintConfig mirrors sim.Config's fields (names, types, order)
+// exactly as they stood when fingerprints were first sealed into
+// manifests, freezing the %+v hash input against future Config growth.
+type fingerprintConfig struct {
+	Cores         int
+	DataBytes     uint64
+	L1            cache.Config
+	L2            cache.Config
+	L3            cache.Config
+	MetaCache     cache.Config
+	Scheme        string
+	Bitmap        bitmap.Config
+	Suite         simcrypto.Suite
+	Timing        nvm.Timing
+	Energy        nvm.Energy
+	TrackWear     bool
+	FreqGHz       float64
+	L1LatNs       float64
+	L2LatNs       float64
+	L3LatNs       float64
+	MCLatNs       float64
+	WriteQueue    int
+	Banks         int
+	Seed          uint64
+	Shards        int
+	Telemetry     bool
+	SampleEveryNs float64
+	TraceEvents   bool
 }

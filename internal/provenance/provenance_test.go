@@ -75,6 +75,31 @@ func TestConfigFingerprintIsSeedless(t *testing.T) {
 	}
 }
 
+// TestConfigFingerprintPinned pins the fingerprint of the committed
+// regression baseline's configuration to the value sealed in
+// BASELINE_manifest.json. It fails whenever fingerprintConfig's %+v
+// rendering changes — e.g. if someone adds a sim.Config field to the
+// mirror instead of mixing it into the suffix — which would silently
+// orphan every sealed manifest.
+func TestConfigFingerprintPinned(t *testing.T) {
+	cfg := sim.Default()
+	cfg.DataBytes = 64 << 20
+	cfg.MetaCache.SizeBytes = 256 << 10
+	const sealed = "af95daf385fd0bdc2400319d8089f6caf145ee4f445bcf91cbe69e34a93d8add"
+	if got := ConfigFingerprint(cfg); got != sealed {
+		t.Fatalf("baseline config fingerprint drifted:\n got %s\nwant %s", got, sealed)
+	}
+}
+
+func TestConfigFingerprintAttrDistinct(t *testing.T) {
+	a := sim.Default()
+	b := sim.Default()
+	b.Attr = true
+	if ConfigFingerprint(a) == ConfigFingerprint(b) {
+		t.Fatal("attr-enabled config must not fingerprint equal to the attr-off baseline: its cell results carry WriteBreakdown")
+	}
+}
+
 func TestCaptureEnv(t *testing.T) {
 	env := CaptureEnv("abc123")
 	if env.GoVersion == "" || env.GOOS == "" || env.GOARCH == "" || env.NumCPU <= 0 {

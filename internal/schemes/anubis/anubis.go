@@ -21,6 +21,7 @@ import (
 	"nvmstar/internal/cachetree"
 	"nvmstar/internal/counter"
 	"nvmstar/internal/memline"
+	"nvmstar/internal/nvm"
 	"nvmstar/internal/secmem"
 	"nvmstar/internal/sit"
 	"nvmstar/internal/telemetry"
@@ -136,7 +137,7 @@ func (s *Scheme) OnChildPersisted(parent sit.NodeID) error {
 		entry.CtrLSBs[i] = c & lsb48Mask
 	}
 	s.lineBuf = entry.encode()
-	s.e.Device().Write(geo.STAddr(slot), s.lineBuf)
+	s.e.Device().WriteCause(geo.STAddr(slot), s.lineBuf, nvm.CauseMAC)
 	s.stats.STWrites++
 	// Refresh the on-chip ST merkle root (hash work only, no memory
 	// traffic).

@@ -23,6 +23,7 @@ import (
 	"nvmstar/internal/cachetree"
 	"nvmstar/internal/counter"
 	"nvmstar/internal/memline"
+	"nvmstar/internal/nvm"
 	"nvmstar/internal/secmem"
 	"nvmstar/internal/sit"
 	"nvmstar/internal/telemetry"
@@ -114,7 +115,7 @@ func (s *Scheme) OnChildPersisted(parent sit.NodeID) error {
 	}
 	slot := uint64(set*s.e.MetaCache().Ways() + way)
 	s.lineBuf = encodeEntry(geo.NodeAddr(parent), node)
-	s.e.Device().Write(geo.STAddr(slot), s.lineBuf)
+	s.e.Device().WriteCause(geo.STAddr(slot), s.lineBuf, nvm.CauseMAC)
 	s.stats.STWrites++
 	s.entBuf[0] = cachetree.SetEntry{Addr: geo.NodeAddr(parent), MAC: s.e.Suite().MAC(s.lineBuf[:])}
 	s.stTree.UpdateSet(int(slot), s.entBuf[:])

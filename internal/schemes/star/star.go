@@ -39,6 +39,7 @@ import (
 	"nvmstar/internal/cachetree"
 	"nvmstar/internal/counter"
 	"nvmstar/internal/memline"
+	"nvmstar/internal/nvm"
 	"nvmstar/internal/secmem"
 	"nvmstar/internal/sit"
 )
@@ -344,10 +345,12 @@ func (s *Scheme) reset(staleMetaIdx []uint64) error {
 		if !cleared[l1] {
 			cleared[l1] = true
 			dev.Poke(geo.RAL1Addr(l1), memline.Line{})
+			dev.RecordOOB(nvm.CauseRecovery)
 		}
 	}
 	for l2 := uint64(0); l2 < geo.RAL2Lines(); l2++ {
 		dev.Poke(geo.RAL2Addr(l2), memline.Line{})
+		dev.RecordOOB(nvm.CauseRecovery)
 	}
 	s.Reset()
 	return nil

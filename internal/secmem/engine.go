@@ -166,6 +166,12 @@ type Engine struct {
 	// interface from escaping, so MAC computation does not allocate.
 	macBuf [80]byte
 
+	// recovering is set for the duration of Recover: NVM writes issued
+	// while it is true are attributed to CauseRecovery instead of their
+	// steady-state cause, so recovery replay traffic is separable in
+	// write-cause breakdowns.
+	recovering bool
+
 	// Intra-machine sharding state (see shard.go). shards <= 1 leaves
 	// stripes nil and the serial data path untouched.
 	shards  int
@@ -313,8 +319,33 @@ func (e *Engine) readMetaNVM(id sit.NodeID) (memline.Line, bool) {
 
 func (e *Engine) writeMetaNVM(id sit.NodeID, node counter.Node) {
 	e.stats.MetaNVMWrites++
-	e.dev.Write(e.geo.NodeAddr(id), node.Encode())
+	e.dev.WriteCause(e.geo.NodeAddr(id), node.Encode(), e.metaCause(id))
 }
+
+// metaCause classifies a metadata-node write for attribution: counter
+// blocks (level 0) vs. interior tree nodes, with recovery replay
+// overriding both.
+func (e *Engine) metaCause(id sit.NodeID) nvm.Cause {
+	if e.recovering {
+		return nvm.CauseRecovery
+	}
+	if id.Level == 0 {
+		return nvm.CauseCounter
+	}
+	return nvm.CauseTreeNode
+}
+
+// dataCause classifies a user-data write for attribution.
+func (e *Engine) dataCause() nvm.Cause {
+	if e.recovering {
+		return nvm.CauseRecovery
+	}
+	return nvm.CauseData
+}
+
+// Recovering reports whether a Recover call is in progress; schemes
+// use it to attribute their own device writes to recovery replay.
+func (e *Engine) Recovering() bool { return e.recovering }
 
 // ReadMetaRaw reads a metadata node straight from NVM (counting the
 // access); recovery paths use it.
@@ -358,7 +389,7 @@ func (e *Engine) AccountDataRead(addr uint64) {
 // anything.
 func (e *Engine) AccountMetaWrite(id sit.NodeID) {
 	e.stats.MetaNVMWrites++
-	e.dev.AccountWrite(e.geo.NodeAddr(id))
+	e.dev.AccountWriteCause(e.geo.NodeAddr(id), e.metaCause(id))
 }
 
 // PeekMetaRaw reads a metadata node from NVM without counting an
@@ -395,7 +426,7 @@ func (e *Engine) ReadDataRaw(addr uint64) (memline.Line, uint64, bool) {
 
 func (e *Engine) writeDataNVM(addr uint64, cipher memline.Line, macField uint64) {
 	e.stats.DataNVMWrites++
-	e.dev.Write(addr, cipher)
+	e.dev.WriteCause(addr, cipher, e.dataCause())
 	e.dataMAC.Set(addr/memline.Size, macField)
 }
 
@@ -828,6 +859,7 @@ func (e *Engine) Reset(suite simcrypto.Suite) {
 	e.dataMAC.Clear()
 	e.dev.Reset()
 	e.stats = Stats{}
+	e.recovering = false
 	e.pendingForced = e.pendingForced[:0]
 	e.clearDirtySets()
 	if e.scheme != nil {
@@ -848,15 +880,16 @@ func (e *Engine) Reset(suite simcrypto.Suite) {
 func (e *Engine) Fork() *Engine {
 	e.flushShards()
 	f := &Engine{
-		cfg:     e.cfg,
-		geo:     e.geo,
-		dev:     e.dev.Fork(),
-		suite:   e.suite,
-		meta:    e.meta.Fork(),
-		aux:     make(map[uint64]*nodeAux, len(e.aux)),
-		root:    e.root,
-		dataMAC: e.dataMAC.Fork(),
-		stats:   e.stats,
+		cfg:        e.cfg,
+		geo:        e.geo,
+		dev:        e.dev.Fork(),
+		suite:      e.suite,
+		meta:       e.meta.Fork(),
+		aux:        make(map[uint64]*nodeAux, len(e.aux)),
+		root:       e.root,
+		dataMAC:    e.dataMAC.Fork(),
+		stats:      e.stats,
+		recovering: e.recovering,
 	}
 	for addr, a := range e.aux { //detlint:ok order-independent deep copy into a fresh map
 		cp := *a
@@ -874,8 +907,11 @@ func (e *Engine) Fork() *Engine {
 	return f
 }
 
-// Recover runs the scheme's recovery procedure.
+// Recover runs the scheme's recovery procedure. NVM writes issued
+// while it runs are attributed to CauseRecovery.
 func (e *Engine) Recover() (*RecoveryReport, error) {
+	e.recovering = true
+	defer func() { e.recovering = false }()
 	return e.scheme.Recover()
 }
 

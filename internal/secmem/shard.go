@@ -77,7 +77,7 @@ func (e *Engine) initShards(shards int) {
 // point the serial path counts it) and queues its crypto tail.
 func (e *Engine) enqueueData(addr uint64, ctr uint64, plain memline.Line) {
 	e.stats.DataNVMWrites++
-	e.dev.AccountWrite(addr)
+	e.dev.AccountWriteCause(addr, e.dataCause())
 	st := e.stripes[(addr/memline.Size)%uint64(e.shards)]
 	st.tasks = append(st.tasks, shardTask{addr: addr, ctr: ctr, plain: plain})
 	e.pending++

@@ -75,6 +75,14 @@ type Config struct {
 	// forced flushes, sampled metadata evictions) retrievable via
 	// Machine.Trace as Chrome trace-event JSON for Perfetto.
 	TraceEvents bool
+	// Attr enables write-cause attribution: every NVM line write is
+	// tagged with its cause (data, counter, tree-node, mac, bitmap,
+	// recovery, ...) and accumulated per cause × per bank (the machine's
+	// Banks count), surfacing as Results.WriteBreakdown, labeled
+	// telemetry series, and the /metrics exposition. Disabled (the
+	// default) the accounting path pays one nil check — results and
+	// digests are bit-identical to builds without the feature.
+	Attr bool
 }
 
 // Default returns the paper's configuration scaled to a

@@ -113,6 +113,12 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Attr {
+		// Before the scheme is installed so every write — including any a
+		// scheme constructor issues — is attributed. Banks matches the
+		// timing model's interleave.
+		m.engine.Device().EnableAttribution(cfg.Banks)
+	}
 	switch cfg.Scheme {
 	case "wb":
 		m.engine.SetScheme(wb.New())
@@ -566,9 +572,14 @@ func (m *Machine) Crash() {
 
 // Recover runs the active scheme's recovery.
 func (m *Machine) Recover() (*secmem.RecoveryReport, error) {
+	var attrBefore *nvm.Breakdown
+	if m.trace != nil {
+		attrBefore = m.engine.Device().Breakdown()
+	}
 	rep, err := m.engine.Recover()
 	if err == nil && rep != nil && m.trace != nil {
 		m.traceRecovery(rep)
+		m.traceRecoveryAttr(attrBefore)
 	}
 	return rep, err
 }

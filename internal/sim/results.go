@@ -40,6 +40,11 @@ func (r *Results) Accumulate(o *Results) {
 		sum.L2.Fills += o.Bitmap.L2.Fills
 		r.Bitmap = &sum
 	}
+	if r.WriteBreakdown != nil && o.WriteBreakdown != nil {
+		sum := r.WriteBreakdown.Sub(nil) // fresh deep copy, aliased snapshots stay unmutated
+		sum.Accumulate(o.WriteBreakdown)
+		r.WriteBreakdown = sum
+	}
 }
 
 // DivideBy turns n accumulated seeds into their mean. Integer counters
@@ -74,4 +79,5 @@ func (r *Results) DivideBy(n int) {
 		r.Bitmap.L2.Evicts /= un
 		r.Bitmap.L2.Fills /= un
 	}
+	r.WriteBreakdown.DivideBy(n)
 }

@@ -40,6 +40,12 @@ type Results struct {
 	// Config.Telemetry and SampleEveryNs are set; nil otherwise, so
 	// marshaled Results are byte-identical with telemetry disabled.
 	Timelines []telemetry.Timeline `json:",omitempty"`
+
+	// WriteBreakdown is the per-cause × per-bank write attribution of
+	// the measured phase when Config.Attr is set; nil otherwise, so
+	// marshaled Results — and therefore manifest cell digests — are
+	// byte-identical with attribution disabled.
+	WriteBreakdown *nvm.Breakdown `json:",omitempty"`
 }
 
 // EnergyPJ returns the NVM access energy of the measured phase.
@@ -177,6 +183,7 @@ func (s *Session) Verify() error {
 // Measure runs fn and captures machine-level deltas around it.
 func (m *Machine) Measure(name string, fn func() error) (*Results, error) {
 	devBefore := m.engine.Device().Stats()
+	attrBefore := m.engine.Device().Breakdown()
 	engBefore := m.engine.Stats()
 	timeBefore := make([]float64, m.cfg.Cores)
 	copy(timeBefore, m.coreNow)
@@ -232,6 +239,7 @@ func (m *Machine) Measure(name string, fn func() error) (*Results, error) {
 	if m.sampler != nil && m.sampler.Samples() > 0 {
 		res.Timelines = m.sampler.Timelines()
 	}
+	res.WriteBreakdown = m.engine.Device().Breakdown().Sub(attrBefore)
 	return res, nil
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"nvmstar/internal/cache"
+	"nvmstar/internal/nvm"
 	"nvmstar/internal/secmem"
 	"nvmstar/internal/telemetry"
 )
@@ -154,4 +155,32 @@ func (m *Machine) traceRecovery(rep *secmem.RecoveryReport) {
 	m.trace.CompleteAt("scan_index", "recovery", start, scan, 1)
 	m.trace.CompleteAt("restore_nodes", "recovery", start+scan, restore, 1)
 	m.trace.CompleteAt("write_back", "recovery", start+scan+restore, writeback, 1)
+}
+
+// traceRecoveryAttr emits one cause-tagged instant event per cause
+// that wrote NVM lines during the just-finished recovery (delta
+// against the pre-recovery attribution snapshot), including the
+// out-of-band causes — schemes whose replay restores lines via Poke
+// (star's bitmap-driven reset) surface as OOB stores, not counted
+// writes. No-op unless both tracing and attribution are enabled.
+func (m *Machine) traceRecoveryAttr(before *nvm.Breakdown) {
+	delta := m.engine.Device().Breakdown().Sub(before)
+	if delta == nil {
+		return
+	}
+	ts := m.maxTimeNs()
+	for _, c := range delta.Causes {
+		if c.Writes == 0 {
+			continue
+		}
+		m.trace.InstantAt("attr:"+c.Cause, "recovery", ts, 0)
+		m.trace.WithArgs(map[string]float64{"writes": float64(c.Writes)})
+	}
+	for _, c := range delta.OOB {
+		if c.Writes == 0 {
+			continue
+		}
+		m.trace.InstantAt("attr:"+c.Cause, "recovery", ts, 0)
+		m.trace.WithArgs(map[string]float64{"oob_stores": float64(c.Writes)})
+	}
 }

@@ -1,0 +1,106 @@
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a dense numeric grid as colored cells — the wear
+// observatory's bank × address-slot view. Rows are labeled on the left
+// (e.g. "bank 0"), columns span the X axis unlabeled, and cell color
+// interpolates white → deep blue over the value range, with a small
+// legend showing the extremes. Zero-valued cells stay white so cold
+// regions read as blank.
+type Heatmap struct {
+	Title  string
+	XLabel string
+	// RowLabels has one entry per row of Values.
+	RowLabels []string
+	// Values is row-major: Values[r][c]. Every row must have the same
+	// number of columns.
+	Values [][]float64
+	// Max fixes the color scale's top; 0 auto-scales to the data.
+	Max float64
+}
+
+// SVG renders the heatmap.
+func (h *Heatmap) SVG() (string, error) {
+	if len(h.Values) == 0 || len(h.Values[0]) == 0 {
+		return "", fmt.Errorf("svgplot: heatmap needs a non-empty grid")
+	}
+	cols := len(h.Values[0])
+	for r, row := range h.Values {
+		if len(row) != cols {
+			return "", fmt.Errorf("svgplot: heatmap row %d has %d columns, want %d", r, len(row), cols)
+		}
+	}
+	if len(h.RowLabels) != len(h.Values) {
+		return "", fmt.Errorf("svgplot: %d row labels for %d rows", len(h.RowLabels), len(h.Values))
+	}
+	vmax := h.Max
+	if vmax <= 0 {
+		for _, row := range h.Values {
+			for _, v := range row {
+				if v > vmax {
+					vmax = v
+				}
+			}
+		}
+		if vmax <= 0 {
+			vmax = 1
+		}
+	}
+
+	rows := len(h.Values)
+	cellH := 22.0
+	plotW := float64(chartW - marginL - marginR)
+	plotH := cellH * float64(rows)
+	height := marginT + int(plotH) + marginB
+	cellW := plotW / float64(cols)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", chartW, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartW, height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(h.Title))
+
+	for r, row := range h.Values {
+		yy := float64(marginT) + cellH*float64(r)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, yy+cellH/2+4, esc(h.RowLabels[r]))
+		for c, v := range row {
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.1f" width="%.2f" height="%.1f" fill="%s"/>`+"\n",
+				float64(marginL)+cellW*float64(c), yy, cellW, cellH, heatColor(v, vmax))
+		}
+	}
+
+	// Frame, X label and color legend.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#888"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW/2), marginT+int(plotH)+20, esc(h.XLabel))
+	ly := marginT + int(plotH) + 36
+	steps := 6
+	for i := 0; i <= steps; i++ {
+		v := vmax * float64(i) / float64(steps)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="18" height="12" fill="%s" stroke="#888"/>`+"\n",
+			marginL+i*18, ly, heatColor(v, vmax))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">0</text>`+"\n", marginL, ly+24)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%s</text>`+"\n",
+		marginL+(steps+1)*18, ly+24, formatTick(vmax))
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// heatColor maps v in [0, vmax] to a white → deep-blue ramp. The ramp
+// runs through the palette's blue (#0072B2) with a sqrt ease so low
+// wear is still distinguishable from zero.
+func heatColor(v, vmax float64) string {
+	if v <= 0 || vmax <= 0 {
+		return "#ffffff"
+	}
+	t := math.Sqrt(math.Min(v/vmax, 1))
+	lerp := func(a, b int) int { return a + int(t*float64(b-a)) }
+	return fmt.Sprintf("#%02x%02x%02x", lerp(0xff, 0x00), lerp(0xff, 0x72), lerp(0xff, 0xb2))
+}

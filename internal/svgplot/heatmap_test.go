@@ -1,0 +1,74 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func heatmap() *Heatmap {
+	return &Heatmap{
+		Title:     "Wear <map> & banks",
+		XLabel:    "address slots",
+		RowLabels: []string{"bank 0", "bank 1"},
+		Values: [][]float64{
+			{0, 1, 4, 9},
+			{2, 0, 0, 16},
+		},
+	}
+}
+
+func TestHeatmapWellFormed(t *testing.T) {
+	svg, err := heatmap().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// Well-formed XML end to end — the CI artifact gets opened in
+	// browsers directly.
+	if err := xml.Unmarshal([]byte(svg), new(struct{})); err != nil {
+		t.Fatalf("not well-formed XML: %v", err)
+	}
+	// 2x4 cells + background + frame + 7 legend swatches.
+	if got := strings.Count(svg, "<rect"); got < 17 {
+		t.Fatalf("rect count = %d, want >= 17", got)
+	}
+	if strings.Contains(svg, "<map>") || !strings.Contains(svg, "&lt;map&gt; &amp; banks") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "bank 1") {
+		t.Fatal("row labels missing")
+	}
+}
+
+func TestHeatmapColorScale(t *testing.T) {
+	// Zero cells stay white; the max cell is the full palette blue.
+	if got := heatColor(0, 16); got != "#ffffff" {
+		t.Errorf("zero color = %s, want white", got)
+	}
+	if got := heatColor(16, 16); got != "#0072b2" {
+		t.Errorf("max color = %s, want #0072b2", got)
+	}
+	mid := heatColor(4, 16)
+	if mid == "#ffffff" || mid == "#0072b2" {
+		t.Errorf("mid color = %s, want intermediate", mid)
+	}
+}
+
+func TestHeatmapRejectsBadShapes(t *testing.T) {
+	if _, err := (&Heatmap{}).SVG(); err == nil {
+		t.Error("empty grid accepted")
+	}
+	h := heatmap()
+	h.Values[1] = h.Values[1][:2]
+	if _, err := h.SVG(); err == nil {
+		t.Error("ragged grid accepted")
+	}
+	h = heatmap()
+	h.RowLabels = h.RowLabels[:1]
+	if _, err := h.SVG(); err == nil {
+		t.Error("label/row mismatch accepted")
+	}
+}

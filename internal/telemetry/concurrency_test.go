@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentRegistrationAndScrape models the debug-server
+// scenario under the race detector: one goroutine keeps registering
+// instruments and updating them while scraper goroutines concurrently
+// walk SeriesNames/Each/MetricFamilies. Run with -race (make race
+// covers it); the assertions themselves only check that final values
+// survive the concurrency intact.
+func TestRegistryConcurrentRegistrationAndScrape(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers   = 4
+		perWriter = 50
+		scrapes   = 200
+		observesN = 100
+		scrapers  = 2
+	)
+	var wg sync.WaitGroup
+
+	// Writers: register a counter, gauge func and histogram each
+	// iteration, then hammer updates.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c := r.Counter(fmt.Sprintf("w%d.count.%d", w, i))
+				v := float64(i)
+				r.GaugeFunc(fmt.Sprintf("w%d.gauge.%d", w, i), func() float64 { return v })
+				h := r.Histogram(fmt.Sprintf("w%d.hist.%d", w, i), []float64{1, 2, 4})
+				for n := 0; n < observesN; n++ {
+					c.Inc()
+					h.Observe(float64(n % 5))
+				}
+			}
+		}(w)
+	}
+
+	// Scrapers: concurrently read everything the way /metrics and the
+	// sampler do.
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < scrapes; i++ {
+				_ = r.SeriesNames()
+				r.Each(func(name string, v float64) {
+					if v < 0 {
+						t.Errorf("series %s went negative: %v", name, v)
+					}
+				})
+				var b strings.Builder
+				if err := WriteOpenMetrics(&b, r.MetricFamilies()); err != nil {
+					t.Errorf("WriteOpenMetrics: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the dust settles every counter holds exactly observesN.
+	total := 0
+	r.Each(func(name string, v float64) {
+		if strings.Contains(name, ".count.") {
+			total++
+			if v != observesN {
+				t.Errorf("%s = %v, want %d", name, v, observesN)
+			}
+		}
+	})
+	if total != writers*perWriter {
+		t.Fatalf("found %d counters, want %d", total, writers*perWriter)
+	}
+	// And the final exposition still lints.
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, r.MetricFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintOpenMetrics([]byte(b.String())); err != nil {
+		t.Fatalf("final exposition fails lint: %v", err)
+	}
+}
+
+// TestInstrumentConcurrentUpdates drives raw Counter.Add / Gauge.Set /
+// Histogram.Observe from several goroutines and checks the totals are
+// exact — the CAS loops must not lose updates.
+func TestInstrumentConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{10, 20})
+	const goroutines, n = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				c.Add(1)
+				g.Set(1)
+				h.Observe(15)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*n {
+		t.Errorf("counter = %v, want %d", got, goroutines*n)
+	}
+	if got := h.Count(); got != goroutines*n {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*n)
+	}
+	if got := h.Sum(); got != float64(goroutines*n)*15 {
+		t.Errorf("histogram sum = %v, want %v", got, float64(goroutines*n)*15)
+	}
+	_, counts := h.Buckets()
+	if counts[1] != goroutines*n {
+		t.Errorf("bucket counts = %v, want all %d in bucket 1", counts, goroutines*n)
+	}
+}

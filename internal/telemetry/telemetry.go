@@ -2,8 +2,10 @@
 // registry of named counters, gauges and histograms that the machine,
 // engine, device, caches and schemes populate; a simulated-time
 // sampler that turns the registered series into in-memory timelines
-// (sampler.go); and a structured event trace emitted as Chrome
-// trace-event JSON (trace.go).
+// (sampler.go); a structured event trace emitted as Chrome
+// trace-event JSON (trace.go); and an OpenMetrics text exposition of
+// the registered instruments (openmetrics.go) served by the debug
+// server's /metrics endpoint.
 //
 // The design constraint is that disabled telemetry must be free: the
 // simulator's hot paths (secmem.Engine.WriteLine is 0 allocs/op) may
@@ -13,15 +15,23 @@
 // compiles to a nil check and a return. No interface values, no
 // indirect calls, no allocation on either path.
 //
-// The registry, like the simulator it observes, is single-goroutine:
-// one Registry belongs to one sim.Machine. Cross-goroutine live
-// introspection (the -http mode of starbench/starreport) goes through
-// expvar snapshots instead, never through a Registry.
+// The simulator itself is single-goroutine per machine, but the debug
+// server scrapes instruments from HTTP handler goroutines while a run
+// mutates them, so instrument updates are lock-free atomics and
+// registration is mutex-guarded. Updates stay allocation-free.
+//
+// Series names may carry an OpenMetrics-style label block, e.g.
+// `nvm.writes_by_cause{cause="data",bank="0"}`. The registry and
+// sampler treat the whole string as the series name; the OpenMetrics
+// writer splits the block back into labels at exposition time.
 package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing event count. The zero of a
@@ -29,20 +39,22 @@ import (
 // instrumented code never branches on "is telemetry on".
 type Counter struct {
 	name string
-	v    float64
+	v    atomic.Uint64 // float64 bits
 }
 
 // Inc adds 1.
-func (c *Counter) Inc() {
-	if c != nil {
-		c.v++
-	}
-}
+func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n.
 func (c *Counter) Add(n float64) {
-	if c != nil {
-		c.v += n
+	if c == nil {
+		return
+	}
+	for {
+		old := c.v.Load()
+		if c.v.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+n)) {
+			return
+		}
 	}
 }
 
@@ -51,19 +63,19 @@ func (c *Counter) Value() float64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return math.Float64frombits(c.v.Load())
 }
 
 // Gauge is an instantaneous value set by its owner.
 type Gauge struct {
 	name string
-	v    float64
+	v    atomic.Uint64 // float64 bits
 }
 
 // Set overwrites the gauge value.
 func (g *Gauge) Set(v float64) {
 	if g != nil {
-		g.v = v
+		g.v.Store(math.Float64bits(v))
 	}
 }
 
@@ -72,7 +84,7 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.v.Load())
 }
 
 // Histogram accumulates a distribution over fixed bucket upper bounds.
@@ -82,9 +94,17 @@ func (g *Gauge) Value() float64 {
 type Histogram struct {
 	name   string
 	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
-	counts []uint64  // len(bounds)+1
-	count  uint64
-	sum    float64
+	counts []uint64  // len(bounds)+1, accessed atomically
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a standalone histogram over the given ascending
+// bucket upper bounds, unattached to any registry — for components
+// that summarize distributions (the device's per-bank wear p99)
+// without exporting the histogram itself as a series.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 }
 
 // Observe records one value.
@@ -92,15 +112,21 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	h.count++
-	h.sum += v
-	for i, b := range h.bounds {
-		if v <= b {
-			h.counts[i]++
-			return
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
 		}
 	}
-	h.counts[len(h.bounds)]++
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	atomic.AddUint64(&h.counts[idx], 1)
 }
 
 // Count returns the number of observations.
@@ -108,7 +134,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the sum of observations.
@@ -116,26 +142,74 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return math.Float64frombits(h.sum.Load())
 }
 
 // Mean returns sum/count, or 0 for an empty histogram.
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
 }
 
-// Buckets returns (upper bound, cumulative count) pairs, the last
-// entry being (+Inf as 0-bound sentinel omitted) — callers receive the
+// Buckets returns the bucket upper bounds and a snapshot of the
 // per-bucket counts aligned with the bounds passed at registration,
 // plus one overflow count.
 func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
 	if h == nil {
 		return nil, nil
 	}
-	return h.bounds, h.counts
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = atomic.LoadUint64(&h.counts[i])
+	}
+	return h.bounds, counts
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation within the containing bucket.
+// Mass in the implicit +Inf overflow bucket is attributed to the last
+// finite bound, so the result is always finite. An empty histogram
+// returns 0; q is clamped to [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	_, counts := h.Buckets()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum uint64
+	lower := 0.0
+	for i, b := range h.bounds {
+		c := counts[i]
+		if c > 0 && float64(cum+c) >= target {
+			frac := (target - float64(cum)) / float64(c)
+			return lower + frac*(b-lower)
+		}
+		cum += c
+		lower = b
+	}
+	// Remaining mass sits in the overflow bucket; the distribution's
+	// true values are unbounded above, so report the largest finite
+	// bound rather than +Inf (0 if there are no finite bounds).
+	return lower
 }
 
 // ExpBuckets returns n exponentially growing upper bounds starting at
@@ -163,9 +237,12 @@ type gaugeFunc struct {
 
 // Registry holds a machine's instruments. A nil *Registry is the
 // disabled state: every constructor method returns a nil instrument
-// and every registration is a no-op. Not safe for concurrent use — it
-// belongs to a single simulated machine.
+// and every registration is a no-op. Registration and snapshot reads
+// are mutex-guarded so the debug server may scrape while the owning
+// machine registers and updates; instrument updates themselves are
+// atomic and never take the lock.
 type Registry struct {
+	mu       sync.RWMutex
 	counters []*Counter
 	gauges   []*Gauge
 	gfuncs   []gaugeFunc
@@ -180,7 +257,7 @@ func NewRegistry() *Registry {
 
 // claim reserves a series name; duplicate registration is a wiring bug
 // worth failing loudly on (two components exporting the same name
-// would silently interleave in timelines).
+// would silently interleave in timelines). Callers hold r.mu.
 func (r *Registry) claim(name string) {
 	if r.names[name] {
 		panic(fmt.Sprintf("telemetry: series %q registered twice", name))
@@ -194,6 +271,8 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.claim(name)
 	c := &Counter{name: name}
 	r.counters = append(r.counters, c)
@@ -205,6 +284,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.claim(name)
 	g := &Gauge{name: name}
 	r.gauges = append(r.gauges, g)
@@ -218,6 +299,8 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	if r == nil || fn == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.claim(name)
 	r.gfuncs = append(r.gfuncs, gaugeFunc{name: name, fn: fn})
 }
@@ -228,6 +311,8 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.claim(name)
 	h := &Histogram{name: name, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 	r.hists = append(r.hists, h)
@@ -240,6 +325,12 @@ func (r *Registry) SeriesNames() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seriesNamesLocked()
+}
+
+func (r *Registry) seriesNamesLocked() []string {
 	var names []string
 	for _, c := range r.counters {
 		names = append(names, c.name)
@@ -264,23 +355,25 @@ func (r *Registry) Each(fn func(name string, value float64)) {
 	if r == nil {
 		return
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	// The per-kind slices are registration-ordered; merge through the
 	// sorted name list so timelines have a stable, readable order.
 	vals := make(map[string]float64, len(r.names)+len(r.hists))
 	for _, c := range r.counters {
-		vals[c.name] = c.v
+		vals[c.name] = c.Value()
 	}
 	for _, g := range r.gauges {
-		vals[g.name] = g.v
+		vals[g.name] = g.Value()
 	}
 	for _, gf := range r.gfuncs {
 		vals[gf.name] = gf.fn()
 	}
 	for _, h := range r.hists {
-		vals[h.name+".count"] = float64(h.count)
-		vals[h.name+".sum"] = h.sum
+		vals[h.name+".count"] = float64(h.Count())
+		vals[h.name+".sum"] = h.Sum()
 	}
-	for _, name := range r.SeriesNames() {
+	for _, name := range r.seriesNamesLocked() {
 		fn(name, vals[name])
 	}
 }
@@ -293,16 +386,19 @@ func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, c := range r.counters {
-		c.v = 0
+		c.v.Store(0)
 	}
 	for _, g := range r.gauges {
-		g.v = 0
+		g.v.Store(0)
 	}
 	for _, h := range r.hists {
-		h.count, h.sum = 0, 0
+		h.count.Store(0)
+		h.sum.Store(0)
 		for i := range h.counts {
-			h.counts[i] = 0
+			atomic.StoreUint64(&h.counts[i], 0)
 		}
 	}
 }
