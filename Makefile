@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-parallel bench-parallel-gate bench-shard bench-shard-gate bench-fork bench-fork-gate report examples vet fmt lint clean race verify verify-telemetry verify-attr regress regress-baseline
+.PHONY: all build test test-short bench bench-json bench-parallel bench-parallel-gate bench-shard bench-shard-gate bench-fork bench-fork-gate report examples vet fmt lint clean race verify verify-telemetry verify-attr verify-latency regress regress-baseline
 
 all: verify
 
 # Tier-1 verify path: build + vet + determinism lint + full tests +
 # race gate over the concurrency-bearing packages (the parallel
 # experiment runner, the sharded engine and the simulator driving
-# them), plus the attribution observability gate.
-verify: build vet lint test race verify-attr
+# them), plus the attribution and latency observability gates.
+verify: build vet lint test race verify-attr verify-latency
 
 build:
 	$(GO) build ./...
@@ -155,6 +155,38 @@ verify-attr:
 	$(GO) run ./cmd/starplot -wearmap -ops 1200 -out /tmp/nvmstar-attr
 	test -s /tmp/nvmstar-attr/wearmap.svg
 	$(GO) run ./cmd/tracecheck -min 1 -names cmd/tracecheck/testdata/golden_trace.json
+
+# Latency-observatory gate: (1) the disabled path stays
+# allocation-free on the engine's write hot path, (2) the histogram
+# merge/quantile and per-op recording invariants hold (bit-identical
+# across shard widths and forks, components summing to end-to-end),
+# (3) a mini latency-enabled sweep renders the tail table and a
+# stardiff-comparable latency document whose self-compare enforces the
+# absolute p99 SLO ceilings of regress.latency.tolerance.json (the
+# document is deterministic — config + seed only — so the ceilings
+# bind identically on every host), (4) the per-scheme CDF charts
+# render non-empty, and (5) a live traced replay emits lat:<op>
+# instants that tracecheck validates by name.
+verify-latency:
+	rm -rf /tmp/nvmstar-latency && mkdir -p /tmp/nvmstar-latency
+	$(GO) test -run '^$$' -bench BenchmarkEngineWriteLineLatencyDisabled -benchmem . \
+		| tee /tmp/nvmstar-latency/bench.txt
+	grep -q ' 0 allocs/op' /tmp/nvmstar-latency/bench.txt
+	$(GO) test -count=1 -run 'Histogram|QuantileFromBuckets' ./internal/telemetry
+	$(GO) test -count=1 -run 'Latency' ./internal/sim ./internal/experiments ./internal/regress
+	$(GO) run ./cmd/starreport -ops 1200 -workloads hash -latency -gate=false -progress=false \
+		-latency-out /tmp/nvmstar-latency/latency.json \
+		> /tmp/nvmstar-latency/report.md
+	grep -q 'Tail latency' /tmp/nvmstar-latency/report.md
+	$(GO) run ./cmd/stardiff -tol regress.latency.tolerance.json -q \
+		/tmp/nvmstar-latency/latency.json /tmp/nvmstar-latency/latency.json
+	$(GO) run ./cmd/starplot -cdf -ops 1200 -out /tmp/nvmstar-latency
+	test -s /tmp/nvmstar-latency/cdf_read_latency.svg
+	test -s /tmp/nvmstar-latency/cdf_write_latency.svg
+	$(GO) run ./cmd/startrace -record /tmp/nvmstar-latency/hash.trc -workload hash -ops 800 > /dev/null
+	$(GO) run ./cmd/startrace -replay /tmp/nvmstar-latency/hash.trc -scheme star -latency \
+		-trace-out /tmp/nvmstar-latency/lat_trace.json > /dev/null
+	$(GO) run ./cmd/tracecheck -min 1 -names /tmp/nvmstar-latency/lat_trace.json
 
 # Executable paper-vs-measured report; non-zero exit if a shape breaks.
 report:

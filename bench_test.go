@@ -424,6 +424,31 @@ func BenchmarkEngineWriteLineAttrDisabled(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineWriteLineLatencyDisabled pins the latency-observatory
+// disabled invariant the verify-latency CI gate greps for: with
+// sim.Config.Latency off (the default), the write path must report
+// 0 allocs/op — the entire observatory costs one nil check per hook.
+func BenchmarkEngineWriteLineLatencyDisabled(b *testing.B) {
+	m, err := sim.NewMachine(benchCfg("star"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m.LatencySnapshot() != nil {
+		b.Fatal("latency observatory unexpectedly enabled by default")
+	}
+	e := m.Engine()
+	var line [64]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%500000) * 64
+		line[0] = byte(i)
+		if err := e.WriteLine(addr, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRealSuiteMAC pins the real suite's keyed-MAC hot path. The
 // suite absorbs the 32-byte MAC key into a SHA-256 once at
 // construction and serializes that midstate; each MAC call rehydrates

@@ -33,7 +33,11 @@ import (
 	"nvmstar/internal/provenance"
 )
 
-func main() {
+// main delegates to run so error paths return exit codes instead of
+// calling os.Exit mid-function, which would skip deferred cleanup.
+func main() { os.Exit(run()) }
+
+func run() int {
 	out := flag.String("o", "", "output file (default stdout)")
 	gitRev := flag.String("git-rev", "", "git revision to record (default: git rev-parse --short HEAD)")
 	flag.Parse()
@@ -43,23 +47,25 @@ func main() {
 
 	if flag.NArg() == 0 {
 		if err := readInput(os.Stdin); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	} else {
 		for _, name := range flag.Args() {
 			f, err := os.Open(name)
 			if err != nil {
-				fatal(err)
+				return fatal(err)
 			}
 			err = readInput(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
-				fatal(err)
+				return fatal(err)
 			}
 		}
 	}
 	if len(doc.Results) == 0 {
-		fatal(fmt.Errorf("no benchmark result lines found in input"))
+		return fatal(fmt.Errorf("no benchmark result lines found in input"))
 	}
 	doc.SetEnv("go_version", runtime.Version())
 	// CPU count gates parallel-speedup floors in stardiff: a document
@@ -75,18 +81,22 @@ func main() {
 
 	enc, err := doc.Marshal()
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if *out == "" {
-		os.Stdout.Write(enc)
-		return
+		if _, err := os.Stdout.Write(enc); err != nil {
+			return fatal(err)
+		}
+		return 0
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
+	return 0
 }
 
-func fatal(err error) {
+// fatal reports err and returns the exit code for run to propagate.
+func fatal(err error) int {
 	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-	os.Exit(1)
+	return 1
 }

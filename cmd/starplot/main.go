@@ -10,6 +10,11 @@
 // trace of the run's structured events:
 //
 //	starplot -timeline -workload hash -scheme star -out ./figures
+//
+// The -cdf mode runs one latency-enabled simulation per scheme and
+// renders paper-style operation-latency CDFs (log-x, one curve per
+// scheme); -wearmap renders a per-bank NVM wear heatmap from one
+// attribution-enabled run.
 package main
 
 import (
@@ -40,6 +45,7 @@ func run() int {
 	progress := flag.Bool("progress", true, "report per-cell completion and ETA on stderr")
 	timeline := flag.Bool("timeline", false, "render sampled telemetry timelines of one run instead of the figure sweep")
 	wearmap := flag.Bool("wearmap", false, "render a per-bank NVM wear heatmap from one attribution-enabled run instead of the figure sweep")
+	cdf := flag.Bool("cdf", false, "render per-scheme operation-latency CDFs from latency-enabled runs instead of the figure sweep")
 	wearCols := flag.Int("wear-cols", 64, "address-slot columns of the -wearmap grid (each cell is the max line wear in its slot)")
 	workloadName := flag.String("workload", "hash", "workload for -timeline/-wearmap")
 	scheme := flag.String("scheme", "star", "scheme for -timeline/-wearmap")
@@ -62,6 +68,12 @@ func run() int {
 	}
 	if *wearmap {
 		if err := runWearmap(*out, *workloadName, *scheme, *ops, *wearCols); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	if *cdf {
+		if err := runCDF(*out, *workloadName, *ops); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -294,6 +306,59 @@ func runTimeline(outDir, tracePath, workloadName, scheme string, ops int, sample
 			return err
 		}
 		fmt.Printf("wrote %s (%d events; load in Perfetto / chrome://tracing)\n", tracePath, tr.Len())
+	}
+	return nil
+}
+
+// runCDF executes one latency-enabled run per scheme and renders the
+// read- and write-latency distributions as paper-style CDFs (log-x,
+// cumulative %), one curve per scheme — where the write-friendliness
+// claims of the schemes become visible as tail separation.
+func runCDF(outDir, workloadName string, ops int) error {
+	schemes := []string{"wb", "star", "anubis", "strict"}
+	charts := []struct {
+		op   string
+		file string
+	}{
+		{"read", "cdf_read_latency.svg"},
+		{"write", "cdf_write_latency.svg"},
+	}
+	series := make(map[string][]svgplot.CDFSeries)
+	bounds := sim.LatencyBuckets()
+	for _, s := range schemes {
+		cfg := sim.Default()
+		cfg.DataBytes = 64 << 20
+		cfg.MetaCache.SizeBytes = 256 << 10
+		cfg.Scheme = s
+		cfg.Latency = true
+		res, _, err := sim.RunScenario(cfg, workloadName, ops)
+		if err != nil {
+			return fmt.Errorf("cdf: %s/%s: %w", workloadName, s, err)
+		}
+		for _, c := range charts {
+			o := res.Latency.Op(c.op)
+			if o == nil || o.Count == 0 {
+				continue
+			}
+			series[c.op] = append(series[c.op], svgplot.CDFSeries{
+				Label: s, BoundsNs: bounds, Counts: o.BucketsNs,
+			})
+		}
+	}
+	for _, c := range charts {
+		chart := &svgplot.CDF{
+			Title:  fmt.Sprintf("%s latency CDF: %s (%d ops)", c.op, workloadName, ops),
+			Series: series[c.op],
+		}
+		svg, err := chart.SVG()
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.file, err)
+		}
+		path := filepath.Join(outDir, c.file)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
 	}
 	return nil
 }

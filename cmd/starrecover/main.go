@@ -21,7 +21,12 @@ import (
 	"nvmstar/internal/sim"
 )
 
-func main() {
+// main delegates to run so error paths return exit codes instead of
+// calling os.Exit mid-function (which would skip deferred cleanup if
+// any is ever added — the bug class fixed in startrace and starplot).
+func main() { os.Exit(run()) }
+
+func run() int {
 	wl := flag.String("workload", "btree", "workload to run before the crash")
 	scheme := flag.String("scheme", "star", "scheme: wb|strict|anubis|star")
 	ops := flag.Int("ops", 10000, "operations before the crash")
@@ -35,7 +40,7 @@ func main() {
 
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	engine := m.Engine()
 
@@ -46,16 +51,16 @@ func main() {
 	// is then an input to recovery and the cache-tree must expose it.
 	const victimAddr = 42 * memline.Size
 	if err := engine.WriteLine(victimAddr, memline.Line{1}); err != nil {
-		fail(err)
+		return fail(err)
 	}
 	snap := attack.SnapshotData(engine, victimAddr)
 
 	fmt.Printf("running %s/%s for %d ops...\n", *wl, *scheme, *ops)
 	if _, err := m.RunUnverified(*wl, *ops); err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if err := engine.WriteLine(victimAddr, memline.Line{2}); err != nil {
-		fail(err)
+		return fail(err)
 	}
 	dirty := engine.MetaCache().DirtyCount()
 	fmt.Printf("dirty metadata lines at crash: %d\n", dirty)
@@ -72,7 +77,7 @@ func main() {
 		fmt.Println("attacker flips bits in a recovery-area bitmap line...")
 		for bit := uint(0); bit < 64; bit++ {
 			if err := attack.TamperBitmapLine(engine, 0, bit); err != nil {
-				fail(err)
+				return fail(err)
 			}
 		}
 	case "st":
@@ -81,13 +86,13 @@ func main() {
 		for slot := uint64(0); slot < geo.STLines(); slot++ {
 			if _, present := engine.Device().Peek(geo.STAddr(slot)); present {
 				if err := attack.TamperST(engine, slot, 7); err != nil {
-					fail(err)
+					return fail(err)
 				}
 				break
 			}
 		}
 	default:
-		fail(fmt.Errorf("unknown attack %q", *atk))
+		return fail(fmt.Errorf("unknown attack %q", *atk))
 	}
 
 	rep, err := m.Recover()
@@ -95,12 +100,12 @@ func main() {
 	case errors.Is(err, secmem.ErrRecoveryVerification):
 		fmt.Printf("recovery REJECTED: %v\n", err)
 		fmt.Println("the attack was detected; the system refuses the corrupted state")
-		return
+		return 0
 	case errors.Is(err, secmem.ErrRecoveryUnsupported):
 		fmt.Println("scheme cannot recover: stale metadata remain broken after the crash")
-		return
+		return 0
 	case err != nil:
-		fail(err)
+		return fail(err)
 	}
 	fmt.Printf("recovery OK: %d stale nodes restored, %d line accesses, %.4f s, verified=%v\n",
 		rep.StaleNodes, rep.LineAccesses(), rep.TimeSeconds(), rep.Verified)
@@ -114,15 +119,17 @@ func main() {
 	var ierr *secmem.IntegrityError
 	if errors.As(err, &ierr) {
 		fmt.Printf("attack detected at first use: %v\n", err)
-		return
+		return 0
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	fmt.Printf("post-recovery read of victim line: %d (want 2)\n", got[0])
+	return 0
 }
 
-func fail(err error) {
+// fail reports err and returns the exit code for run to propagate.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "starrecover:", err)
-	os.Exit(1)
+	return 1
 }

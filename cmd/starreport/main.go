@@ -15,6 +15,10 @@
 // expected to hold. -attr enables write-cause attribution: the report
 // gains a per-(workload, scheme) cause-breakdown table and, with
 // -http, the aggregate is scrapable as OpenMetrics on /metrics.
+// -latency enables the latency observatory the same way: the report
+// gains a per-(workload, scheme, op) tail-latency table, -latency-out
+// persists it as a stardiff-comparable latency document (the SLO
+// gate's input), and the aggregate joins the /metrics exposition.
 package main
 
 import (
@@ -48,6 +52,8 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "concurrent cells in the sweep (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "intra-machine shard width: engine goroutines per cell (0/1 = serial; results are bit-identical at every width)")
 	attr := flag.Bool("attr", false, "enable write-cause attribution: append a per-(workload, scheme) cause breakdown to the report and expose it on -http /metrics")
+	latency := flag.Bool("latency", false, "enable the latency observatory: append a per-(workload, scheme, op) tail-latency table to the report and expose it on -http /metrics")
+	latencyOut := flag.String("latency-out", "", "write the tail-latency aggregate as a latency document (stardiff-comparable, SLO-gateable) to this file; requires -latency")
 	progress := flag.Bool("progress", true, "report per-cell completion, rate and ETA on stderr")
 	httpAddr := flag.String("http", "", "serve live sweep stats (expvar) and pprof on this address, e.g. :6060")
 	manifestOut := flag.String("manifest-out", "", "write a run provenance manifest (per-cell result digests) to this file")
@@ -71,6 +77,7 @@ func run() int {
 			cfg.DataBytes = uint64(*dataMB) << 20
 			cfg.MetaCache.SizeBytes = 256 << 10
 			cfg.Attr = *attr
+			cfg.Latency = *latency
 			return cfg
 		}),
 	}
@@ -78,6 +85,15 @@ func run() int {
 	if *attr {
 		agg = experiments.NewAttrAggregator()
 		ropts = append(ropts, experiments.WithResultObserver(agg.Observe))
+	}
+	if *latencyOut != "" && !*latency {
+		fmt.Fprintln(os.Stderr, "starreport: -latency-out requires -latency")
+		return 2
+	}
+	var latAgg *experiments.LatencyAggregator
+	if *latency {
+		latAgg = experiments.NewLatencyAggregator()
+		ropts = append(ropts, experiments.WithResultObserver(latAgg.Observe))
 	}
 	if *workloads != "" {
 		ropts = append(ropts, experiments.WithWorkloads(strings.Split(*workloads, ",")...))
@@ -120,6 +136,9 @@ func run() int {
 		})
 		if agg != nil {
 			srv.AddMetricsSource(agg)
+		}
+		if latAgg != nil {
+			srv.AddMetricsSource(latAgg)
 		}
 		addr, err := srv.Start()
 		if err != nil {
@@ -174,6 +193,26 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "starreport: wrote run manifest to %s (%d cells)\n", *manifestOut, collector.Len())
 	}
+	if *latencyOut != "" {
+		var rows []regress.LatencyRow
+		for _, r := range latAgg.Rows() {
+			for _, o := range r.Latency.Ops {
+				if o.Count == 0 {
+					continue
+				}
+				rows = append(rows, regress.LatencyRow{
+					Workload: r.Workload, Scheme: r.Scheme, Op: o.Op,
+					Count: o.Count, P50Ns: o.P50Ns, P90Ns: o.P90Ns,
+					P99Ns: o.P99Ns, P999Ns: o.P999Ns, MaxNs: o.MaxNs,
+				})
+			}
+		}
+		if err := regress.WriteLatencyDoc(*latencyOut, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "starreport: -latency-out:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "starreport: wrote latency document to %s (%d rows)\n", *latencyOut, len(rows))
+	}
 
 	code := 0
 	var drift map[string]string
@@ -201,6 +240,9 @@ func run() int {
 	fmt.Print(rep.MarkdownWithDrift(drift))
 	if agg != nil {
 		fmt.Print("\n" + agg.Markdown())
+	}
+	if latAgg != nil {
+		fmt.Print("\n" + latAgg.Markdown())
 	}
 	if !rep.Passed() {
 		if *gate {

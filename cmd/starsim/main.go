@@ -16,11 +16,17 @@ import (
 	"os"
 	"strings"
 
+	"nvmstar/internal/secmem"
 	"nvmstar/internal/sim"
 	"nvmstar/internal/workload"
 )
 
-func main() {
+// main delegates to run so deferred cleanup in future growth (and the
+// startrace/starplot exit-code convention) holds here too: error paths
+// return an exit code instead of calling os.Exit mid-function.
+func main() { os.Exit(run()) }
+
+func run() int {
 	wl := flag.String("workload", "hash", "workload: "+strings.Join(workload.Names(), "|"))
 	scheme := flag.String("scheme", "star", "scheme: wb|strict|anubis|star|phoenix")
 	ops := flag.Int("ops", 20000, "measured operations")
@@ -41,7 +47,7 @@ func main() {
 
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	var res *sim.Results
 	if *crash {
@@ -50,7 +56,7 @@ func main() {
 		res, err = m.Run(*wl, *ops)
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	fmt.Printf("workload          %s (%d threads, %d ops, seed %d)\n", *wl, *cores, *ops, *seed)
@@ -84,17 +90,20 @@ func main() {
 		rep, err := m.Recover()
 		if err != nil {
 			fmt.Printf("recovery FAILED: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("recovery          %s, verified=%v\n", rep.Scheme, rep.Verified)
 		fmt.Printf("stale nodes       %d\n", rep.StaleNodes)
 		fmt.Printf("line accesses     %d index + %d node reads + %d writes\n",
 			rep.IndexReads, rep.NodeReads, rep.NodeWrites)
-		fmt.Printf("recovery time     %.4f s (at %.0f ns/line)\n", rep.TimeSeconds(), 100.0)
+		ph := rep.PhaseTimes()
+		fmt.Printf("recovery time     %.4f s (at %.0f ns/line: %.0f us scan + %.0f us restore + %.0f us write-back)\n",
+			rep.TimeSeconds(), secmem.RecoveryLineNs, ph.ScanNs/1e3, ph.RestoreNs/1e3, ph.WritebackNs/1e3)
 		if *audit {
 			reportAudit(m)
 		}
 	}
+	return 0
 }
 
 func reportAudit(m *sim.Machine) {
@@ -114,7 +123,8 @@ func reportAudit(m *sim.Machine) {
 	}
 }
 
-func fail(err error) {
+// fail reports err and returns the exit code for run to propagate.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "starsim:", err)
-	os.Exit(1)
+	return 1
 }

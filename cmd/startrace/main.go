@@ -33,6 +33,7 @@ func run() int {
 	scheme := flag.String("scheme", "star", "scheme for recording/replaying")
 	dataMB := flag.Int("data-mb", 64, "protected data size in MiB")
 	traceOut := flag.String("trace-out", "", "also write the run's structured events (forced flushes, sampled evictions) as Chrome trace-event JSON")
+	latency := flag.Bool("latency", false, "enable the latency observatory on replay: print per-op tail latencies and add lat:<op> instants to -trace-out")
 	flag.Parse()
 
 	cfg := sim.Default()
@@ -40,6 +41,7 @@ func run() int {
 	cfg.MetaCache.SizeBytes = 256 << 10
 	cfg.Scheme = *scheme
 	cfg.TraceEvents = *traceOut != ""
+	cfg.Latency = *latency
 
 	var err error
 	switch {
@@ -150,5 +152,14 @@ func doReplay(cfg sim.Config, path, traceOut string) error {
 	fmt.Printf("  NVM writes  %d\n", res.Dev.Writes)
 	fmt.Printf("  energy      %.2f uJ\n", res.EnergyPJ()/1e6)
 	fmt.Printf("  dirty meta  %.1f%%\n", 100*res.DirtyMetaFrac)
+	if res.Latency != nil {
+		for _, o := range res.Latency.Ops {
+			if o.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-7s lat  p50 %.0f ns, p99 %.0f ns, max %.0f ns (%d observed)\n",
+				o.Op, o.P50Ns, o.P99Ns, o.MaxNs, o.Count)
+		}
+	}
 	return writeEventTrace(m, traceOut)
 }

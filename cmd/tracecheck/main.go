@@ -5,9 +5,10 @@
 // as the machine check that tracing produced a loadable, non-empty
 // trace. With -names it additionally validates every event's name
 // against the simulator's known emission points — crash/recovery
-// phases, secmem flush events and the "attr:<cause>" attribution
-// instants — so a renamed or misspelled emitter fails CI instead of
-// silently breaking trace consumers.
+// phases, secmem flush events, the "attr:<cause>" attribution
+// instants and the "lat:<op>" latency-observatory instants — so a
+// renamed or misspelled emitter fails CI instead of silently breaking
+// trace consumers.
 //
 //	tracecheck -min 1 -names figures/timeline_trace.json
 package main
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"nvmstar/internal/nvm"
+	"nvmstar/internal/sim"
 	"nvmstar/internal/telemetry"
 )
 
@@ -94,6 +96,9 @@ func nameOK(e telemetry.Event) bool {
 	case "sim":
 		if e.Name == "crash" {
 			return true
+		}
+		if op, ok := strings.CutPrefix(e.Name, "lat:"); ok {
+			return sim.ValidLatOpName(op)
 		}
 		scheme, ok := strings.CutPrefix(e.Name, "recovery:")
 		return ok && scheme != ""

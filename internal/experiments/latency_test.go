@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nvmstar/internal/cache"
+	"nvmstar/internal/sim"
+	"nvmstar/internal/telemetry"
+)
+
+// latRunner is fastRunner with the latency observatory enabled and an
+// aggregator observing the sweep. The attr aggregator rides along to
+// pin WithResultObserver's compose-don't-replace contract: both
+// observers must see every cell.
+func latRunner(parallel int, lat *LatencyAggregator, attr *AttrAggregator) *Runner {
+	return NewRunner(
+		WithOps(1200),
+		WithWorkloads("array", "queue"),
+		WithConfig(func() sim.Config {
+			cfg := sim.Default()
+			cfg.Cores = 4
+			cfg.DataBytes = 16 << 20
+			cfg.L1 = cache.Config{SizeBytes: 8 << 10, Ways: 2}
+			cfg.L2 = cache.Config{SizeBytes: 32 << 10, Ways: 8}
+			cfg.L3 = cache.Config{SizeBytes: 128 << 10, Ways: 8}
+			cfg.MetaCache = cache.Config{SizeBytes: 64 << 10, Ways: 8}
+			cfg.Attr = true
+			cfg.Latency = true
+			return cfg
+		}),
+		WithParallelism(parallel),
+		WithResultObserver(attr.Observe),
+		WithResultObserver(lat.Observe),
+	)
+}
+
+// TestLatencyAggregatorSweep drives a 4-wide sweep through the
+// observer and checks the aggregate: every (workload, scheme) pair
+// present with the cells' op counts, renderings well-formed, and the
+// exposition lint-clean.
+func TestLatencyAggregatorSweep(t *testing.T) {
+	lat := NewLatencyAggregator()
+	attr := NewAttrAggregator()
+	r := latRunner(4, lat, attr)
+	cells := r.Matrix(nil, []string{"wb", "star"})
+	res, err := r.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantWrites := map[attrKey]uint64{}
+	for _, cr := range res {
+		if cr.Err != nil {
+			t.Fatalf("cell %v: %v", cr.Cell, cr.Err)
+		}
+		if cr.Results.Latency == nil {
+			t.Fatalf("cell %v missing Latency with observatory enabled", cr.Cell)
+		}
+		wantWrites[attrKey{cr.Workload, cr.Scheme}] += cr.Results.Latency.Op("write").Count
+	}
+
+	rows := lat.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 workloads x 2 schemes): %+v", len(rows), rows)
+	}
+	for _, row := range rows {
+		if row.Cells != 1 {
+			t.Errorf("%s/%s cells = %d, want 1", row.Workload, row.Scheme, row.Cells)
+		}
+		if got, want := row.Latency.Op("write").Count, wantWrites[attrKey{row.Workload, row.Scheme}]; got != want {
+			t.Errorf("%s/%s aggregate write count = %d, want %d", row.Workload, row.Scheme, got, want)
+		}
+	}
+	// Rows are in workload-major, scheme-ordered sequence.
+	if rows[0].Scheme != "wb" || rows[1].Scheme != "star" || rows[0].Workload != rows[1].Workload {
+		t.Errorf("row order wrong: %+v", rows)
+	}
+	// Both observers saw the sweep — WithResultObserver composes.
+	if len(attr.Rows()) != 4 {
+		t.Fatalf("co-registered attr observer saw %d rows, want 4", len(attr.Rows()))
+	}
+
+	// The aggregate's exposition must pass the strict OpenMetrics lint.
+	var b strings.Builder
+	if err := telemetry.WriteOpenMetrics(&b, lat.MetricFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.LintOpenMetrics([]byte(b.String())); err != nil {
+		t.Fatalf("aggregate exposition fails lint: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), `latency_p99_ns{workload="array",scheme="star",op="write"}`) {
+		t.Fatalf("exposition missing labeled latency_p99_ns sample:\n%s", b.String())
+	}
+
+	md := lat.Markdown()
+	for _, want := range []string{"## Tail latency", "| workload | scheme | op |", "| array | star | write |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	txt := lat.Table()
+	if !strings.Contains(txt, "workload") || !strings.Contains(txt, "star") {
+		t.Errorf("table rendering wrong:\n%s", txt)
+	}
+}
+
+// TestLatencyAggregatorEmpty pins the disabled-sweep behavior: no
+// families (so /metrics stays unchanged) and a stub report.
+func TestLatencyAggregatorEmpty(t *testing.T) {
+	lat := NewLatencyAggregator()
+	if fams := lat.MetricFamilies(); fams != nil {
+		t.Fatalf("empty aggregator exposes families: %+v", fams)
+	}
+	if md := lat.Markdown(); !strings.Contains(md, "No latency-recording cells") {
+		t.Fatalf("empty markdown = %q", md)
+	}
+	// Observing a result without a breakdown is a no-op, not a panic.
+	lat.Observe(Cell{Workload: "array", Scheme: "wb"}, &sim.Results{})
+	if len(lat.Rows()) != 0 {
+		t.Fatal("latency-less result was aggregated")
+	}
+}

@@ -40,7 +40,7 @@ type Runner struct {
 	progress  func(Progress)
 	trace     *telemetry.Trace
 	collector *provenance.Collector
-	observer  func(Cell, *sim.Results)
+	observers []func(Cell, *sim.Results)
 
 	// crashPoints is the WithCrashPoints axis: the mid-run operation
 	// counts at which crash-family sweeps fork and crash their base
@@ -146,10 +146,16 @@ func WithTrace(tr *telemetry.Trace) Option { return func(r *Runner) { r.trace = 
 // cell whose value is a *sim.Results (seed-merged cells observe the
 // merged value; failed cells are not observed). Callbacks run on
 // worker goroutines as cells complete and must be safe for concurrent
-// use — the attribution aggregator feeding live /metrics exposition is
-// the intended consumer.
+// use — the attribution and latency aggregators feeding live /metrics
+// exposition are the intended consumers. The option composes: each
+// registration appends an observer, and every observer sees every
+// cell in registration order.
 func WithResultObserver(fn func(Cell, *sim.Results)) Option {
-	return func(r *Runner) { r.observer = fn }
+	return func(r *Runner) {
+		if fn != nil {
+			r.observers = append(r.observers, fn)
+		}
+	}
 }
 
 // WithCollector attaches a provenance collector: every completed cell
@@ -289,9 +295,11 @@ func (r *Runner) WallTime() time.Duration { return time.Duration(r.wallNs.Load()
 // when err is non-nil. wall is the cell's total compute time (for
 // seed-merged cells, the sum of its units' wall times).
 func (r *Runner) record(sweep string, c Cell, wall time.Duration, v any, err error) {
-	if r.observer != nil && err == nil {
+	if len(r.observers) > 0 && err == nil {
 		if res, ok := v.(*sim.Results); ok && res != nil {
-			r.observer(c, res)
+			for _, obs := range r.observers {
+				obs(c, res)
+			}
 		}
 	}
 	if r.collector == nil {

@@ -108,6 +108,11 @@ type Device struct {
 	// (attr.go). Nil is the disabled state: the accounting hot path pays
 	// one nil check and nothing else.
 	attr *attrState
+	// lastCause is the cause tag of the write currently being accounted,
+	// set before the access hook fires so the hook (the machine's timing
+	// model) can classify the stall it charges. Valid only inside the
+	// hook; not part of serialized device state.
+	lastCause Cause
 	// drain runs before any cold-path inspection of device state
 	// (Peek/Poke, wear queries, snapshots): a deferred-execution owner
 	// (the engine's shard executor) installs it so queued-but-uncommitted
@@ -231,9 +236,16 @@ func (d *Device) AccountWriteCause(addr uint64, cause Cause) {
 		d.attr.wearValid = false
 	}
 	if d.hook != nil {
+		d.lastCause = cause
 		d.hook(true, addr)
 	}
 }
+
+// LastWriteCause returns the cause tag of the write whose access hook
+// is currently firing. The engine's sharded executor runs accounting at
+// the serial program point, so the value the hook reads is identical at
+// every shard width.
+func (d *Device) LastWriteCause() Cause { return d.lastCause }
 
 // CommitWrite stores a line whose write was already accounted (store
 // and wear bump only — no counters, no hook). With a striped store,

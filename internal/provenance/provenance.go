@@ -172,6 +172,11 @@ func ConfigFingerprint(cfg sim.Config) string {
 	if cfg.Attr {
 		s += "+attr"
 	}
+	if cfg.Latency {
+		// The observatory adds Latency to cell results, so latency runs
+		// must not compare equal to non-latency baselines.
+		s += "+lat"
+	}
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])
 }

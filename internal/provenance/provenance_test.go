@@ -100,6 +100,26 @@ func TestConfigFingerprintAttrDistinct(t *testing.T) {
 	}
 }
 
+func TestConfigFingerprintLatencyDistinct(t *testing.T) {
+	a := sim.Default()
+	b := sim.Default()
+	b.Latency = true
+	if ConfigFingerprint(a) == ConfigFingerprint(b) {
+		t.Fatal("latency-enabled config must not fingerprint equal to the latency-off baseline: its cell results carry Latency")
+	}
+	c := sim.Default()
+	c.Attr = true
+	if ConfigFingerprint(b) == ConfigFingerprint(c) {
+		t.Fatal("+lat and +attr suffixes must stay distinct")
+	}
+	d := sim.Default()
+	d.Attr = true
+	d.Latency = true
+	if ConfigFingerprint(d) == ConfigFingerprint(b) || ConfigFingerprint(d) == ConfigFingerprint(c) {
+		t.Fatal("attr+latency config must fingerprint distinct from either alone")
+	}
+}
+
 func TestCaptureEnv(t *testing.T) {
 	env := CaptureEnv("abc123")
 	if env.GoVersion == "" || env.GOOS == "" || env.GOARCH == "" || env.NumCPU <= 0 {

@@ -13,15 +13,16 @@ import (
 // Doc is one loaded comparison artifact with its detected kind;
 // exactly one of the payload fields is set.
 type Doc struct {
-	Kind     string // "bench", "shapes" or "manifest"
+	Kind     string // "bench", "shapes", "manifest" or "latency"
 	Bench    *benchfmt.Doc
 	Shapes   *shapes.Report
 	Manifest *provenance.Manifest
+	Latency  *LatencyDoc
 }
 
 // ReadDoc loads path and sniffs which artifact it is: a provenance
-// manifest ("schema" + "cells"), a benchmark document ("results"), or
-// a shapes report ("Checks").
+// manifest ("schema" + "cells"), a tail-latency document ("latency"),
+// a benchmark document ("results"), or a shapes report ("Checks").
 func ReadDoc(path string) (*Doc, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -38,6 +39,12 @@ func ReadDoc(path string) (*Doc, error) {
 			return nil, err
 		}
 		return &Doc{Kind: "manifest", Manifest: m}, nil
+	case probe["latency"] != nil:
+		d, err := ReadLatencyDoc(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Doc{Kind: "latency", Latency: d}, nil
 	case probe["results"] != nil:
 		d, err := benchfmt.ReadFile(path)
 		if err != nil {
@@ -51,7 +58,7 @@ func ReadDoc(path string) (*Doc, error) {
 		}
 		return &Doc{Kind: "shapes", Shapes: r}, nil
 	}
-	return nil, fmt.Errorf("regress: %s: unrecognized document (expected a BENCH doc, a shapes report or a run manifest)", path)
+	return nil, fmt.Errorf("regress: %s: unrecognized document (expected a BENCH doc, a shapes report, a run manifest or a latency doc)", path)
 }
 
 // CompareDocs dispatches on the documents' kind, which must match.
@@ -66,6 +73,8 @@ func CompareDocs(old, new *Doc, tol Tolerance) (*Verdict, error) {
 		return CompareShapes(old.Shapes, new.Shapes, tol), nil
 	case "manifest":
 		return CompareManifests(old.Manifest, new.Manifest, tol)
+	case "latency":
+		return CompareLatency(old.Latency, new.Latency, tol), nil
 	}
 	return nil, fmt.Errorf("regress: unknown document kind %q", old.Kind)
 }

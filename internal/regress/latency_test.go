@@ -1,0 +1,122 @@
+package regress
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func latRows() []LatencyRow {
+	return []LatencyRow{
+		{Workload: "hash", Scheme: "wb", Op: "write", Count: 900,
+			P50Ns: 80, P90Ns: 120, P99Ns: 300, P999Ns: 500, MaxNs: 512},
+		{Workload: "hash", Scheme: "star", Op: "write", Count: 900,
+			P50Ns: 90, P90Ns: 140, P99Ns: 400, P999Ns: 700, MaxNs: 1024},
+		{Workload: "hash", Scheme: "star", Op: "read", Count: 300,
+			P50Ns: 60, P90Ns: 70, P99Ns: 90, P999Ns: 100, MaxNs: 128},
+	}
+}
+
+// TestLatencyDocRoundTrip pins the artifact format: written documents
+// read back identically and sniff as the latency kind through the
+// generic ReadDoc used by stardiff.
+func TestLatencyDocRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lat.json")
+	if err := WriteLatencyDoc(path, latRows()); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ReadLatencyDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != LatencyDocSchema || len(doc.Latency) != 3 {
+		t.Fatalf("round-trip lost data: %+v", doc)
+	}
+	if doc.Latency[1].P99Ns != 400 || doc.Latency[1].key() != "hash/star/write" {
+		t.Fatalf("row mangled: %+v", doc.Latency[1])
+	}
+
+	sniffed, err := ReadDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sniffed.Kind != "latency" || sniffed.Latency == nil {
+		t.Fatalf("ReadDoc sniffed kind %q, want latency", sniffed.Kind)
+	}
+}
+
+// TestCompareLatencySelfIsClean: a self-comparison with in-bound
+// ceilings produces no regressions — the shape of the passing CI gate.
+func TestCompareLatencySelfIsClean(t *testing.T) {
+	doc := &LatencyDoc{Schema: LatencyDocSchema, Latency: latRows()}
+	tol := DefaultTolerance()
+	tol.LatencyP99CeilingsNs = map[string]float64{"star/write": 450}
+	v := CompareLatency(doc, doc, tol)
+	if v.Regressed() {
+		t.Fatalf("self-comparison regressed:\n%s", v.Markdown())
+	}
+	// The ceiling item is present and OK — the gate ran, not skipped.
+	found := false
+	for _, it := range v.Items {
+		if it.Kind == "slo" && it.Name == "hash/star/write" {
+			found = true
+			if it.Status != StatusOK {
+				t.Errorf("in-bound ceiling item status %q", it.Status)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no slo item for gated star/write:\n%s", v.Markdown())
+	}
+}
+
+// TestCompareLatencyCeilingBreach is the stardiff exit-1 acceptance
+// criterion in library form: a row whose p99 exceeds its configured
+// ceiling regresses the verdict even when drift vs the baseline is
+// zero (self-comparison).
+func TestCompareLatencyCeilingBreach(t *testing.T) {
+	doc := &LatencyDoc{Schema: LatencyDocSchema, Latency: latRows()}
+	tol := DefaultTolerance()
+	tol.LatencyP99CeilingsNs = map[string]float64{"star/write": 350} // p99 is 400
+	v := CompareLatency(doc, doc, tol)
+	if !v.Regressed() {
+		t.Fatalf("p99 400 over ceiling 350 did not regress:\n%s", v.Markdown())
+	}
+}
+
+// TestCompareLatencyDrift checks the relative p99 gate: drift beyond
+// LatencyFrac regresses, improvements don't.
+func TestCompareLatencyDrift(t *testing.T) {
+	old := &LatencyDoc{Schema: LatencyDocSchema, Latency: latRows()}
+	slower := latRows()
+	slower[1].P99Ns *= 1.5 // +50% > default 25% tolerance
+	v := CompareLatency(old, &LatencyDoc{Schema: LatencyDocSchema, Latency: slower}, DefaultTolerance())
+	if !v.Regressed() {
+		t.Fatalf("+50%% p99 drift did not regress:\n%s", v.Markdown())
+	}
+
+	faster := latRows()
+	faster[1].P99Ns *= 0.5
+	v = CompareLatency(old, &LatencyDoc{Schema: LatencyDocSchema, Latency: faster}, DefaultTolerance())
+	if v.Regressed() {
+		t.Fatalf("p99 improvement regressed:\n%s", v.Markdown())
+	}
+}
+
+// TestCompareLatencyMissingRow: a baseline row absent from the new
+// document regresses (the measurement silently vanished), and a gated
+// ceiling with no matching rows regresses too.
+func TestCompareLatencyMissingRow(t *testing.T) {
+	old := &LatencyDoc{Schema: LatencyDocSchema, Latency: latRows()}
+	pruned := &LatencyDoc{Schema: LatencyDocSchema, Latency: latRows()[:1]} // wb only
+	v := CompareLatency(old, pruned, DefaultTolerance())
+	if !v.Regressed() {
+		t.Fatalf("dropped rows did not regress:\n%s", v.Markdown())
+	}
+
+	tol := DefaultTolerance()
+	tol.LatencyP99CeilingsNs = map[string]float64{"star/persist": 1000} // never observed
+	v = CompareLatency(old, old, tol)
+	if !v.Regressed() {
+		t.Fatalf("gated ceiling with no observed rows did not regress:\n%s", v.Markdown())
+	}
+}

@@ -41,6 +41,14 @@ type Tolerance struct {
 	// relative *Frac fields): the parallel-speedup gate. A floored
 	// metric that is absent or below its floor regresses.
 	MetricFloors map[string]map[string]float64 `json:"metric_floors,omitempty"`
+	// Latency documents: relative p99 drift allowed per
+	// (workload, scheme, op) row.
+	LatencyFrac float64 `json:"latency_frac"`
+	// LatencyP99CeilingsNs maps "scheme/op" -> the largest acceptable
+	// p99 (ns) in the NEW latency document (absolute, like
+	// MetricFloors): the tail-latency SLO gate. A gated pair with no
+	// observed rows regresses.
+	LatencyP99CeilingsNs map[string]float64 `json:"latency_p99_ceilings_ns,omitempty"`
 	// FloorMinCPUs suspends floor enforcement when the new document's
 	// "cpus" env key is missing or smaller: a 1-core container cannot
 	// physically speed up a CPU-bound sweep, so its honest ~1.0x
@@ -60,6 +68,7 @@ func DefaultTolerance() Tolerance {
 		AllocsPerOpFrac: 0.01,
 		MetricFrac:      0.25,
 		ValueFrac:       0.02,
+		LatencyFrac:     0.25,
 		RequireSameEnv:  []string{"goos", "goarch"},
 	}
 }

@@ -83,6 +83,17 @@ type Config struct {
 	// default) the accounting path pays one nil check — results and
 	// digests are bit-identical to builds without the feature.
 	Attr bool
+	// Latency enables the per-operation latency observatory: every
+	// engine-level operation (data read, data write, persist, recovery)
+	// records its end-to-end simulated latency into a log-bucketed
+	// histogram per op kind, decomposed along the critical path into
+	// components (bank wait, metadata fetch by tree level, write-queue
+	// stalls by write cause, recovery phases). Surfaces as
+	// Results.Latency, labeled telemetry series, and the /metrics
+	// exposition. Disabled (the default) the hot paths pay one nil
+	// check — results and digests are bit-identical to builds without
+	// the feature.
+	Latency bool
 }
 
 // Default returns the paper's configuration scaled to a

@@ -206,6 +206,55 @@ func TestForkOfFork(t *testing.T) {
 	}
 }
 
+// TestForkLatencyBitIdentity: the latency observatory rides through
+// fork-of-fork like every other piece of machine state — a grandchild
+// fork's cumulative breakdown (including the recovery op recorded
+// after its own crash) is bit-identical to a fresh machine's, and the
+// grandchild's recovery observation does not leak into parent or
+// child.
+func TestForkLatencyBitIdentity(t *testing.T) {
+	const ops = 400
+	cfg := goldenConfig("star")
+	cfg.Latency = true
+
+	fresh, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.RunUnverified("array", ops); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Crash()
+
+	parent, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.RunUnverified("array", ops); err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Fork()
+	grand := child.Fork()
+	grand.Crash()
+
+	if _, err := fresh.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grand.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.LatencySnapshot(), grand.LatencySnapshot()) {
+		t.Errorf("fork-of-fork latency differs from fresh run:\nfresh %+v\ngrand %+v",
+			fresh.LatencySnapshot(), grand.LatencySnapshot())
+	}
+	if !reflect.DeepEqual(parent.LatencySnapshot(), child.LatencySnapshot()) {
+		t.Error("parent and un-run child recorders should still agree")
+	}
+	if rec := parent.LatencySnapshot().Op("recovery"); rec.Count != 0 {
+		t.Errorf("grandchild's recovery leaked into the parent recorder: %+v", rec)
+	}
+}
+
 // TestForkThenReset: Reset on either side of a fork restores the full
 // Reset invariant — both the recycled parent and the recycled child
 // reproduce a fresh machine bit for bit, regardless of what the other

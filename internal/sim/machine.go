@@ -64,6 +64,9 @@ type Machine struct {
 	readWait  *telemetry.Histogram
 	writeWait *telemetry.Histogram
 	bankBusy  *telemetry.Histogram
+	// lat is the per-operation latency observatory (latency.go); nil
+	// unless Config.Latency, so the hot paths pay one nil check.
+	lat *latRecorder
 
 	err error // first engine error (integrity violation = fatal)
 }
@@ -118,6 +121,9 @@ func NewMachine(cfg Config) (*Machine, error) {
 		// scheme constructor issues — is attributed. Banks matches the
 		// timing model's interleave.
 		m.engine.Device().EnableAttribution(cfg.Banks)
+	}
+	if cfg.Latency {
+		m.lat = newLatRecorder()
 	}
 	switch cfg.Scheme {
 	case "wb":
@@ -274,6 +280,13 @@ func (m *Machine) onDeviceAccess(write bool, addr uint64) {
 		}
 		m.readWait.Observe(start - m.coreNow[c])
 		m.observeBusyBanks(m.coreNow[c])
+		if m.lat != nil && m.lat.depth > 0 {
+			// The hook is the serial accounting point (the sharded
+			// executor always fires it at the serial program point), so
+			// these notes are bit-identical at every shard width.
+			m.lat.note(compBankWait, start-m.coreNow[c])
+			m.lat.note(m.latReadComp(addr), t.ReadNs())
+		}
 		m.bankFree[bank] = start + t.ReadNs()
 		m.coreNow[c] = m.bankFree[bank]
 		return
@@ -282,6 +295,9 @@ func (m *Machine) onDeviceAccess(write bool, addr uint64) {
 	oldest := m.wqDone[m.wqIdx]
 	if oldest > m.coreNow[c] {
 		m.writeWait.Observe(oldest - m.coreNow[c])
+		if m.lat != nil && m.lat.depth > 0 {
+			m.lat.note(stallCompOf(m.engine.Device().LastWriteCause()), oldest-m.coreNow[c])
+		}
 		m.coreNow[c] = oldest
 	} else {
 		m.writeWait.Observe(0)
@@ -337,11 +353,14 @@ func (m *Machine) ensureL1(c int, addr uint64) *cache.Entry {
 	case m.takeFromOtherCore(c, addr, &data, &dirty):
 		m.charge(c, m.cfg.L3LatNs) // directory + cross-core transfer
 	default:
+		m.latBegin(opRead)
 		m.charge(c, m.cfg.L2LatNs+m.cfg.L3LatNs+m.cfg.MCLatNs)
+		m.latNote(compMC, m.cfg.L2LatNs+m.cfg.L3LatNs+m.cfg.MCLatNs)
 		line, err := m.engine.ReadLine(addr)
 		if err != nil {
 			m.setErr(err)
 		}
+		m.latEnd()
 		data, dirty = line, false
 	}
 	m.setOwner(addr, c)
@@ -405,9 +424,11 @@ func (m *Machine) demoteToL3(addr uint64, data memline.Line, dirty bool) {
 	m.deleteOwner(addr)
 	m.l3.Insert(addr, data, dirty, func(va uint64, vd memline.Line, vdirty bool) {
 		if vdirty {
+			m.latBegin(opWrite)
 			if err := m.engine.WriteLine(va, vd); err != nil {
 				m.setErr(err)
 			}
+			m.latEnd()
 		}
 	})
 }
@@ -507,26 +528,32 @@ func (m *Machine) Persist(addr uint64, size int) {
 		end = ^uint64(0)
 	}
 	last := memline.Align(end)
+	m.latBegin(opPersist)
 	for line := first; ; line += memline.Size {
 		// Large flushes run this loop far longer than one Load/Store;
 		// poll so cancellation can abort mid-walk, not only between
 		// operations.
 		m.pollCtx()
 		if m.err != nil {
+			m.latEnd()
 			return
 		}
 		m.instr[c] += instrPerPersist
 		if e, holder := m.locate(line); e != nil && e.Dirty {
 			m.charge(c, m.cfg.MCLatNs)
+			m.latNote(compMC, m.cfg.MCLatNs)
+			m.latBegin(opWrite)
 			if err := m.engine.WriteLine(line, e.Data); err != nil {
 				m.setErr(err)
 			}
+			m.latEnd()
 			holder.CleanEntry(e)
 		}
 		if line == last {
 			break
 		}
 	}
+	m.latEnd()
 }
 
 // Fence implements heap.Memory: with ADR, SFENCE waits only for
@@ -542,9 +569,11 @@ func (m *Machine) FlushCPUCaches() error {
 	flush := func(c *cache.Cache) {
 		c.FlushAll(func(addr uint64, data memline.Line, dirty bool) {
 			if dirty {
+				m.latBegin(opWrite)
 				if err := m.engine.WriteLine(addr, data); err != nil {
 					m.setErr(err)
 				}
+				m.latEnd()
 			}
 		})
 	}
@@ -577,9 +606,17 @@ func (m *Machine) Recover() (*secmem.RecoveryReport, error) {
 		attrBefore = m.engine.Device().Breakdown()
 	}
 	rep, err := m.engine.Recover()
-	if err == nil && rep != nil && m.trace != nil {
-		m.traceRecovery(rep)
-		m.traceRecoveryAttr(attrBefore)
+	if err == nil && rep != nil {
+		// Recovery is report-modeled (RecoveryLineNs per line), not
+		// core-clock-bracketed: no frame is open during replay, so the
+		// replay's device traffic stays out of the other op kinds.
+		if m.lat != nil {
+			m.lat.observeRecovery(rep)
+		}
+		if m.trace != nil {
+			m.traceRecovery(rep)
+			m.traceRecoveryAttr(attrBefore)
+		}
 	}
 	return rep, err
 }
@@ -618,6 +655,7 @@ func (m *Machine) Fork() *Machine {
 		f.l2 = append(f.l2, m.l2[i].Fork())
 	}
 	f.l3 = m.l3.Fork()
+	f.lat = m.lat.clone()
 	f.engine.Device().SetHook(f.onDeviceAccess)
 	f.initTelemetry()
 	return f
@@ -667,5 +705,6 @@ func (m *Machine) Reset(seed uint64) {
 	m.tel.Reset()
 	m.sampler.Reset()
 	m.trace.Reset()
+	m.lat.reset()
 	m.err = nil
 }

@@ -45,6 +45,11 @@ func (r *Results) Accumulate(o *Results) {
 		sum.Accumulate(o.WriteBreakdown)
 		r.WriteBreakdown = sum
 	}
+	if r.Latency != nil && o.Latency != nil {
+		sum := r.Latency.Copy() // fresh deep copy, aliased snapshots stay unmutated
+		sum.Accumulate(o.Latency)
+		r.Latency = sum
+	}
 }
 
 // DivideBy turns n accumulated seeds into their mean. Integer counters
@@ -80,4 +85,5 @@ func (r *Results) DivideBy(n int) {
 		r.Bitmap.L2.Fills /= un
 	}
 	r.WriteBreakdown.DivideBy(n)
+	r.Latency.DivideBy(n)
 }

@@ -46,6 +46,12 @@ type Results struct {
 	// marshaled Results — and therefore manifest cell digests — are
 	// byte-identical with attribution disabled.
 	WriteBreakdown *nvm.Breakdown `json:",omitempty"`
+
+	// Latency is the per-operation latency breakdown of the measured
+	// phase when Config.Latency is set; nil otherwise, so marshaled
+	// Results — and therefore manifest cell digests — are byte-identical
+	// with the observatory disabled.
+	Latency *LatencyBreakdown `json:",omitempty"`
 }
 
 // EnergyPJ returns the NVM access energy of the measured phase.
@@ -184,6 +190,10 @@ func (s *Session) Verify() error {
 func (m *Machine) Measure(name string, fn func() error) (*Results, error) {
 	devBefore := m.engine.Device().Stats()
 	attrBefore := m.engine.Device().Breakdown()
+	var latBefore *latSnapshot
+	if m.lat != nil {
+		latBefore = m.lat.snapshot()
+	}
 	engBefore := m.engine.Stats()
 	timeBefore := make([]float64, m.cfg.Cores)
 	copy(timeBefore, m.coreNow)
@@ -240,6 +250,10 @@ func (m *Machine) Measure(name string, fn func() error) (*Results, error) {
 		res.Timelines = m.sampler.Timelines()
 	}
 	res.WriteBreakdown = m.engine.Device().Breakdown().Sub(attrBefore)
+	if m.lat != nil {
+		res.Latency = m.lat.breakdown(latBefore)
+		m.traceLatency(res.Latency)
+	}
 	return res, nil
 }
 

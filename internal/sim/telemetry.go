@@ -48,6 +48,11 @@ func (m *Machine) initTelemetry() {
 	}
 	m.bankBusy = reg.Histogram("nvm.busy_banks", bounds)
 
+	// Latency-observatory histograms and component totals, exported as
+	// labeled OpenMetrics families on /metrics. No-op on a nil recorder
+	// (Config.Latency off) or a nil registry.
+	m.lat.register(reg)
+
 	// CPU cache hierarchy: the shared L3 directly, the per-core
 	// private levels as aggregates (per-core series would multiply the
 	// timeline count eightfold without changing any figure).
@@ -140,9 +145,8 @@ func (m *Machine) sample(c int) {
 // node write-back.
 func (m *Machine) traceRecovery(rep *secmem.RecoveryReport) {
 	start := m.maxTimeNs()
-	scan := float64(rep.IndexReads) * secmem.RecoveryLineNs
-	restore := float64(rep.NodeReads) * secmem.RecoveryLineNs
-	writeback := float64(rep.NodeWrites) * secmem.RecoveryLineNs
+	ph := rep.PhaseTimes()
+	scan, restore, writeback := ph.ScanNs, ph.RestoreNs, ph.WritebackNs
 	verified := 0.0
 	if rep.Verified {
 		verified = 1
@@ -155,6 +159,29 @@ func (m *Machine) traceRecovery(rep *secmem.RecoveryReport) {
 	m.trace.CompleteAt("scan_index", "recovery", start, scan, 1)
 	m.trace.CompleteAt("restore_nodes", "recovery", start+scan, restore, 1)
 	m.trace.CompleteAt("write_back", "recovery", start+scan+restore, writeback, 1)
+}
+
+// traceLatency emits one op-tagged instant event per operation kind
+// that recorded observations over the just-measured phase, carrying the
+// observation count and the derived tail. Event names are "lat:<op>"
+// with <op> from latOpNames — cmd/tracecheck validates them against
+// ValidLatOpName. No-op unless both tracing and the latency observatory
+// are enabled.
+func (m *Machine) traceLatency(lb *LatencyBreakdown) {
+	if m.trace == nil || lb == nil {
+		return
+	}
+	ts := m.maxTimeNs()
+	for _, o := range lb.Ops {
+		if o.Count == 0 {
+			continue
+		}
+		m.trace.InstantAt("lat:"+o.Op, "sim", ts, 0)
+		m.trace.WithArgs(map[string]float64{
+			"count":  float64(o.Count),
+			"p99_ns": o.P99Ns,
+		})
+	}
 }
 
 // traceRecoveryAttr emits one cause-tagged instant event per cause

@@ -1,0 +1,78 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func cdfChart() *CDF {
+	return &CDF{
+		Title: "Write latency CDF <hash>",
+		Series: []CDFSeries{
+			{Label: "wb", BoundsNs: []float64{1, 2, 4, 8}, Counts: []uint64{0, 5, 10, 5, 0}},
+			{Label: "star", BoundsNs: []float64{1, 2, 4, 8}, Counts: []uint64{0, 0, 8, 10, 2}},
+		},
+	}
+}
+
+func TestCDFWellFormed(t *testing.T) {
+	svg, err := cdfChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// Well-formed XML end to end — the CI artifact gets opened in
+	// browsers directly.
+	if err := xml.Unmarshal([]byte(svg), new(struct{})); err != nil {
+		t.Fatalf("not well-formed XML: %v", err)
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polyline count = %d, want one step curve per series", got)
+	}
+	if strings.Contains(svg, "<hash>") || !strings.Contains(svg, "&lt;hash&gt;") {
+		t.Fatal("title not escaped")
+	}
+	for _, want := range []string{"100%", "cumulative fraction", "latency (ns) (log)", ">wb<", ">star<"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestCDFValidation(t *testing.T) {
+	if _, err := (&CDF{}).SVG(); err == nil {
+		t.Error("no series should error")
+	}
+	empty := &CDF{Series: []CDFSeries{
+		{Label: "x", BoundsNs: []float64{1, 2}, Counts: []uint64{0, 0, 0}},
+	}}
+	if _, err := empty.SVG(); err == nil {
+		t.Error("no observations should error")
+	}
+	bad := &CDF{Series: []CDFSeries{
+		{Label: "x", BoundsNs: []float64{1, 2}, Counts: []uint64{1, 2}}, // want 3
+	}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("counts/bounds length mismatch should error")
+	}
+}
+
+// TestCDFOverflowMass: observations past the last finite bound still
+// draw — clamped to the last bound so the curve reaches 100% — and an
+// all-observed series must end at the top of the y range.
+func TestCDFOverflowMass(t *testing.T) {
+	c := &CDF{Series: []CDFSeries{
+		{Label: "x", BoundsNs: []float64{10, 100}, Counts: []uint64{4, 0, 6}},
+	}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y(1.0) is marginT; the final polyline vertex must land there.
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("no curve drawn")
+	}
+}

@@ -42,22 +42,34 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 		}
 	})
 	t.Run("all_mass_in_overflow", func(t *testing.T) {
+		// Overflow mass interpolates between the last finite bound and
+		// the recorded maximum — saturated histograms report finite,
+		// honest tails instead of clamping at the bound.
 		h := NewHistogram([]float64{1, 2, 4})
 		h.Observe(100)
 		h.Observe(200)
 		got := h.Quantile(0.99)
-		if got != 4 {
-			t.Fatalf("overflow-only quantile = %v, want last finite bound 4", got)
+		if got <= 4 || got > 200 {
+			t.Fatalf("overflow-only quantile = %v, want within (4, 200]", got)
 		}
 		if math.IsInf(got, 1) {
 			t.Fatal("quantile must never be +Inf")
+		}
+		if q1 := h.Quantile(1); q1 != 200 {
+			t.Fatalf("q=1 = %v, want the recorded max 200", q1)
+		}
+		// Without a recorded max (phase-delta snapshots pass max = 0)
+		// the estimate clamps at the last finite bound.
+		_, counts := h.Buckets()
+		if got := QuantileFromBuckets([]float64{1, 2, 4}, counts, 0, 0.99); got != 4 {
+			t.Fatalf("maxless overflow quantile = %v, want last finite bound 4", got)
 		}
 	})
 	t.Run("no_finite_bounds", func(t *testing.T) {
 		h := NewHistogram(nil)
 		h.Observe(7)
-		if got := h.Quantile(0.5); got != 0 {
-			t.Fatalf("boundless quantile = %v, want 0", got)
+		if got := h.Quantile(0.5); got != 3.5 {
+			t.Fatalf("boundless quantile = %v, want 3.5 (interpolated toward the max)", got)
 		}
 	})
 	t.Run("interpolates", func(t *testing.T) {

@@ -97,14 +97,48 @@ type Histogram struct {
 	counts []uint64  // len(bounds)+1, accessed atomically
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits
+	max    atomic.Uint64 // float64 bits of the largest observation
 }
 
 // NewHistogram builds a standalone histogram over the given ascending
 // bucket upper bounds, unattached to any registry — for components
 // that summarize distributions (the device's per-bank wear p99)
-// without exporting the histogram itself as a series.
+// without exporting the histogram itself as a series. AttachHistogram
+// can later export it under a name.
 func NewHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Clone returns an independent snapshot copy of the histogram: same
+// bounds (shared — they are immutable), current counts, sum and max.
+// Machine forks use it so parent and fork diverge independently.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	c := &Histogram{name: h.name, bounds: h.bounds, counts: make([]uint64, len(h.counts))}
+	for i := range h.counts {
+		c.counts[i] = atomic.LoadUint64(&h.counts[i])
+	}
+	c.count.Store(h.count.Load())
+	c.sum.Store(h.sum.Load())
+	c.max.Store(h.max.Load())
+	return c
+}
+
+// Reset zeroes the histogram's counts, sum and max while keeping its
+// bounds and name — the standalone-histogram half of the machine-reuse
+// Reset invariant (Registry.Reset covers registered instruments).
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.counts {
+		atomic.StoreUint64(&h.counts[i], 0)
+	}
 }
 
 // Observe records one value.
@@ -116,6 +150,18 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sum.Load()
 		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	// Max tracking assumes non-negative observations (true of every
+	// series here: latencies, wear counts, bank occupancy); the zero
+	// initial value then never overstates the maximum.
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
 			break
 		}
 	}
@@ -171,16 +217,48 @@ func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
 	return h.bounds, counts
 }
 
+// Max returns the largest observation recorded so far (0 for an empty
+// or nil histogram; observations are assumed non-negative).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Overflow returns the count of observations above the last finite
+// bucket bound — the explicit view of the +Inf bucket, so saturated
+// histograms (a bank wait beyond ExpBuckets' top bound) surface in
+// reports instead of silently vanishing into an unbounded bucket.
+func (h *Histogram) Overflow() uint64 {
+	if h == nil || len(h.counts) == 0 {
+		return 0
+	}
+	return atomic.LoadUint64(&h.counts[len(h.counts)-1])
+}
+
 // Quantile estimates the q-quantile (q in [0, 1]) of the observed
 // distribution by linear interpolation within the containing bucket.
-// Mass in the implicit +Inf overflow bucket is attributed to the last
-// finite bound, so the result is always finite. An empty histogram
-// returns 0; q is clamped to [0, 1].
+// Mass in the overflow bucket interpolates between the last finite
+// bound and the largest recorded observation, so saturated histograms
+// report finite, honest tail estimates. An empty histogram returns 0;
+// q is clamped to [0, 1].
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
 	_, counts := h.Buckets()
+	return QuantileFromBuckets(h.bounds, counts, h.Max(), q)
+}
+
+// QuantileFromBuckets is the pure quantile estimator behind
+// Histogram.Quantile, usable on any (bounds, counts) snapshot —
+// including phase deltas and merged bucket vectors, where no live
+// histogram exists. counts has len(bounds)+1 entries, the last being
+// the overflow bucket; mass there interpolates between the last finite
+// bound and max (pass max <= last bound, e.g. 0, to clamp at the
+// bound). Deterministic: the result depends only on the arguments.
+func QuantileFromBuckets(bounds []float64, counts []uint64, max, q float64) float64 {
 	var total uint64
 	for _, c := range counts {
 		total += c
@@ -197,7 +275,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	target := q * float64(total)
 	var cum uint64
 	lower := 0.0
-	for i, b := range h.bounds {
+	for i, b := range bounds {
 		c := counts[i]
 		if c > 0 && float64(cum+c) >= target {
 			frac := (target - float64(cum)) / float64(c)
@@ -206,10 +284,56 @@ func (h *Histogram) Quantile(q float64) float64 {
 		cum += c
 		lower = b
 	}
-	// Remaining mass sits in the overflow bucket; the distribution's
-	// true values are unbounded above, so report the largest finite
-	// bound rather than +Inf (0 if there are no finite bounds).
+	// Remaining mass sits in the overflow bucket: interpolate toward
+	// the recorded maximum when one is known, else report the largest
+	// finite bound (0 if there are none).
+	if len(counts) == 0 {
+		return lower
+	}
+	if c := counts[len(counts)-1]; c > 0 && max > lower {
+		frac := (target - float64(cum)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lower + frac*(max-lower)
+	}
 	return lower
+}
+
+// Merge adds o's observations into h: per-bucket counts, total count,
+// sum and max. Both histograms must share identical bucket bounds —
+// merging differently shaped histograms is a wiring bug. The merge is
+// deterministic (pure integer/float addition), so folding shard- or
+// seed-level histograms in a fixed order yields bit-identical results.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == nil || o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("telemetry: merging histograms with %d vs %d bounds", len(h.bounds), len(o.bounds))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return fmt.Errorf("telemetry: merging histograms with different bounds (%g vs %g at %d)", b, o.bounds[i], i)
+		}
+	}
+	for i := range h.counts {
+		atomic.AddUint64(&h.counts[i], atomic.LoadUint64(&o.counts[i]))
+	}
+	h.count.Add(o.count.Load())
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+o.Sum())) {
+			break
+		}
+	}
+	if om := o.Max(); om > h.Max() {
+		h.max.Store(math.Float64bits(om))
+	}
+	return nil
 }
 
 // ExpBuckets returns n exponentially growing upper bounds starting at
@@ -319,6 +443,23 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// AttachHistogram registers an existing standalone histogram under
+// name, exposing it as a series (timelines, /metrics le buckets)
+// without copying: the owner keeps observing into the same object. The
+// latency observatory uses it so its per-op histograms feed both
+// Results and the OpenMetrics exposition. No-op on a nil registry or
+// histogram.
+func (r *Registry) AttachHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	h.name = name
+	r.hists = append(r.hists, h)
+}
+
 // SeriesNames returns every registered series name in sorted order. A
 // histogram contributes two series: name.count and name.sum.
 func (r *Registry) SeriesNames() []string {
@@ -395,10 +536,6 @@ func (r *Registry) Reset() {
 		g.v.Store(0)
 	}
 	for _, h := range r.hists {
-		h.count.Store(0)
-		h.sum.Store(0)
-		for i := range h.counts {
-			atomic.StoreUint64(&h.counts[i], 0)
-		}
+		h.Reset()
 	}
 }
